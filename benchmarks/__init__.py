@@ -1,0 +1,1 @@
+"""Benchmark suite for the FlexTM reproduction (see conftest.py)."""

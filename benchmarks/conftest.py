@@ -1,0 +1,45 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (figure series or table
+rows), prints it, and asserts the paper's *qualitative shape* — who
+wins, by roughly what factor, where the crossovers fall.  Absolute
+numbers differ from the paper's Simics/GEMS testbed by design.
+
+Environment knobs:
+
+``REPRO_BENCH_CYCLES``  — simulated cycles per measurement point
+    (default 150_000; raise for lower-variance, slower runs).
+``REPRO_BENCH_FULL``    — set to 1 to sweep the paper's full thread
+    grid (1, 2, 4, 8, 16) instead of the fast default (1, 4, 8).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_CYCLES = int(os.environ.get("REPRO_BENCH_CYCLES", 150_000))
+FULL_SWEEP = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+THREAD_POINTS = (1, 2, 4, 8, 16) if FULL_SWEEP else (1, 4, 8)
+POLICY_THREAD_POINTS = (1, 2, 4, 8, 16) if FULL_SWEEP else (2, 8, 16)
+
+
+@pytest.fixture(scope="session")
+def bench_cycles() -> int:
+    return BENCH_CYCLES
+
+
+@pytest.fixture(scope="session")
+def thread_points():
+    return THREAD_POINTS
+
+
+@pytest.fixture(scope="session")
+def policy_thread_points():
+    return POLICY_THREAD_POINTS
+
+
+def run_once(benchmark, fn):
+    """Run a harness exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

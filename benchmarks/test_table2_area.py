@@ -1,0 +1,51 @@
+"""E5 — Table 2: FlexTM area across Merom, Power6, Niagara-2."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.area.model import PROCESSORS
+from repro.harness.table2 import render_table2, run_table2
+
+
+def test_table2(benchmark):
+    results = run_once(benchmark, run_table2)
+    print()
+    print(render_table2(results))
+
+    for spec in PROCESSORS:
+        estimate = results[spec.name]["estimate"]
+        published = results[spec.name]["published"]
+        assert estimate.signature_mm2 == pytest.approx(
+            published["signature_mm2"], rel=0.05
+        ), spec.name
+        assert estimate.cst_registers == published["cst_registers"]
+        assert estimate.extra_state_bits == published["extra_state_bits"]
+        assert estimate.core_increase_percent == pytest.approx(
+            published["core_increase_percent"], rel=0.25
+        ), spec.name
+
+    # Section 6's headline: add-ons noticeable (~2.6%) only on the
+    # 8-way SMT with small lines; well under 1% on the OoO cores.
+    assert results["Niagara-2"]["estimate"].core_increase_percent > 2.0
+    assert results["Merom"]["estimate"].core_increase_percent < 1.0
+    assert results["Power6"]["estimate"].core_increase_percent < 1.0
+
+
+def test_signature_sizing_sweep(benchmark):
+    """Area scales linearly in signature bits — the knob Sanchez et al.
+    studied; confirms our model is usable for design exploration."""
+    from repro.area.model import FlexTMAreaModel, NIAGARA2
+
+    def sweep():
+        return {
+            bits: FlexTMAreaModel(signature_bits=bits).signature_area(NIAGARA2)
+            for bits in (512, 1024, 2048, 4096)
+        }
+
+    areas = run_once(benchmark, sweep)
+    print()
+    for bits, area in areas.items():
+        print(f"  {bits:5d} bits -> {area:.3f} mm^2")
+    assert areas[4096] == pytest.approx(8 * areas[512], rel=0.01)

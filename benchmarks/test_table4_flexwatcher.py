@@ -1,0 +1,39 @@
+"""E6 — Table 4(b): FlexWatcher vs Discover on BugBench."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.table4 import PUBLISHED_TABLE4, render_table4, run_table4
+
+
+def test_table4(benchmark):
+    results = run_once(benchmark, run_table4)
+    print()
+    print(render_table4(results))
+
+    for name, data in results.items():
+        published = PUBLISHED_TABLE4[name]
+        # FlexWatcher overheads stay in the paper's 5%-2.5x band...
+        assert 1.0 <= data["flexwatcher"] <= 3.2, name
+        # ...and near each published value.
+        assert data["flexwatcher"] == pytest.approx(
+            published["flexwatcher"], rel=0.4
+        ), name
+        # Every program's bug is actually caught.
+        assert data["bugs_detected"] > 0, name
+        # Discover is an order of magnitude (or two) worse.
+        if data["discover"] is not None:
+            assert data["discover"] > 10 * data["flexwatcher"], name
+            assert data["discover"] == pytest.approx(
+                published["discover"], rel=0.3
+            ), name
+        else:
+            assert published["discover"] is None
+
+    # The ordering of overheads follows the published table:
+    # Gzip-IV < Gzip-BO < BC-BO < Man < Squid.
+    order = ["Gzip-IV", "Gzip-BO", "BC-BO", "Man", "Squid"]
+    slowdowns = [results[name]["flexwatcher"] for name in order]
+    assert slowdowns == sorted(slowdowns)

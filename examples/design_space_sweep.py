@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Design-space exploration: sweep, export, diagnose.
+
+Shows the library as a research tool rather than a fixed benchmark:
+run a cartesian sweep over systems and thread counts, export the rows
+as CSV, and run the pathology analyzer over the interesting corners to
+*explain* the curves (FriendlyFire / DuellingUpgrade / Convoying, per
+the Bobba et al. taxonomy the paper uses).
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro.core.descriptor import ConflictMode
+from repro.harness.pathology import analyze, render
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.sweep import SweepSpec, run_sweep, to_csv
+
+CYCLES = 120_000
+
+
+def main() -> None:
+    spec = SweepSpec(
+        workloads=["RBTree", "LFUCache"],
+        systems=["CGL", "FlexTM"],
+        thread_counts=(1, 4, 8),
+        modes=(ConflictMode.EAGER, ConflictMode.LAZY),
+        seeds=(42,),
+        cycle_limit=CYCLES,
+    )
+    print(f"sweeping {spec.size()} configurations "
+          f"({CYCLES} simulated cycles each)...\n")
+    rows = run_sweep(spec)
+    print(to_csv(rows))
+
+    print("pathology analysis of the contended corners:")
+    for workload in ("RBTree", "LFUCache"):
+        for mode in (ConflictMode.EAGER, ConflictMode.LAZY):
+            result = run_experiment(
+                ExperimentConfig(
+                    workload=workload,
+                    system="FlexTM",
+                    threads=8,
+                    mode=mode,
+                    cycle_limit=CYCLES,
+                )
+            )
+            report = analyze(result)
+            print(f"  {workload:9s} {mode.value:5s}: {render(report)}")
+    print(
+        "\nEager LFUCache should grade worst (futile-stall cascades on the"
+        "\nZipf-hot lines); lazy modes defer arbitration to commit time."
+    )
+
+
+if __name__ == "__main__":
+    main()

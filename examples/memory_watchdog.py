@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""FlexWatcher: catching memory bugs with TM hardware (Section 8).
+
+Uses FlexTM's signatures and alert-on-update for something entirely
+non-transactional: a memory watchdog.  The example pads a set of heap
+buffers, watches the pads, runs a buggy program that eventually writes
+one byte past a buffer, and shows the overflow being caught at a
+fraction of the cost of binary instrumentation.
+
+Run:  python examples/memory_watchdog.py
+"""
+
+from repro.tools.bugbench import BUGBENCH, run_program
+from repro.tools.discover import DiscoverInstrumenter
+from repro.tools.flexwatcher import FlexWatcher, WatchMode
+
+
+def hand_rolled_demo() -> None:
+    """Watch three buffers by hand and overflow one of them."""
+    watcher = FlexWatcher(WatchMode.BUFFER_OVERFLOW)
+    buffers = []
+    cursor = 0x10_000
+    for _ in range(3):
+        buffers.append(cursor)
+        cursor += 256  # buffer body
+        watcher.watch(cursor, 64)  # 64-byte pad after the buffer
+        cursor += 64
+    watcher.activate()
+
+    # Normal traffic: in-bounds writes are completely free.
+    for offset in range(0, 256, 8):
+        assert watcher.access(buffers[0] + offset, is_write=True) is None
+
+    # The bug: a write 4 bytes past the end of buffer 1.
+    label = watcher.access(buffers[1] + 256 + 4, is_write=True)
+    print(f"  overflow write flagged as: {label}")
+    print(f"  alerts={watcher.alerts}  handler-confirmed={watcher.true_alerts}")
+    assert label == "buffer-overflow"
+
+
+def bugbench_sweep() -> None:
+    """The Table 4(b) experiment: five buggy programs, two tools."""
+    discover = DiscoverInstrumenter()
+    print(f"  {'program':9s} {'FlexWatcher':>12s} {'Discover':>9s} {'bugs':>5s}")
+    for name, program in BUGBENCH.items():
+        report = run_program(program)
+        slowdown = discover.slowdown(program)
+        discover_text = f"{slowdown:.0f}x" if slowdown else "N/A"
+        print(
+            f"  {name:9s} {report.slowdown:11.2f}x {discover_text:>9s} "
+            f"{report.bugs_detected:5d}"
+        )
+
+
+def main() -> None:
+    print("1. Hand-rolled buffer-overflow watchdog")
+    hand_rolled_demo()
+    print("\n2. BugBench sweep (Table 4b)")
+    bugbench_sweep()
+    print(
+        "\nSignatures give unbounded watchpoints at hardware speed; the"
+        "\nonly cost is the occasional handler trap — versus a fixed"
+        "\nper-access penalty for whole-binary instrumentation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Policy tuning: eager vs lazy conflict management, in software.
+
+FlexTM's headline claim is that conflict-management *policy* lives in
+software while the hardware only provides mechanisms.  This example
+runs the same contended workload (LFUCache, whose Zipf page stream
+admits almost no concurrency) under both policies and two different
+contention managers, showing how a two-line change flips the machine's
+behaviour — no "hardware" change involved.
+
+Run:  python examples/policy_tuning.py
+"""
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import SystemParams
+from repro.runtime.contention import AggressiveManager, PolkaManager
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread
+from repro.workloads.lfucache import LFUCacheWorkload
+
+THREADS = 8
+CYCLES = 300_000
+
+
+def run(mode: ConflictMode, manager) -> tuple:
+    machine = FlexTMMachine(SystemParams())
+    runtime = FlexTMRuntime(machine, mode=mode, manager=manager)
+    workload = LFUCacheWorkload(machine, seed=42)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(THREADS)]
+    result = Scheduler(machine, threads).run(cycle_limit=CYCLES)
+    return result.commits, result.aborts, result.throughput
+
+
+def main() -> None:
+    print(f"LFUCache, {THREADS} threads, {CYCLES} cycles per run\n")
+    print(f"{'policy':28s} {'commits':>8s} {'aborts':>8s} {'txn/Mcyc':>10s}")
+    for label, mode, manager in [
+        ("eager + Polka", ConflictMode.EAGER, PolkaManager()),
+        ("eager + Aggressive", ConflictMode.EAGER, AggressiveManager()),
+        ("lazy  + Polka", ConflictMode.LAZY, PolkaManager()),
+        ("lazy  + Aggressive", ConflictMode.LAZY, AggressiveManager()),
+    ]:
+        commits, aborts, throughput = run(mode, manager)
+        print(f"{label:28s} {commits:8d} {aborts:8d} {throughput:10.1f}")
+    print(
+        "\nLazy management defers arbitration to commit time, when the"
+        "\ncommitting transaction is almost certain to win — so doomed"
+        "\nwork shrinks and throughput rises on this conflict-heavy mix"
+        "\n(Section 7.4 of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

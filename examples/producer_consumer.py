@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Producer/consumer pipeline on transactional data types.
+
+Uses the typed TM library (`repro.runtime.tmtypes`) instead of raw
+addresses: a bounded TQueue moves work items from two producers to two
+consumers, with TCounters tracking totals — everything atomic, no
+locks, running on simulated FlexTM hardware.
+
+Run:  python examples/producer_consumer.py
+"""
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import SystemParams
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.tmtypes import TCounter, TQueue
+from repro.runtime.txthread import TxThread, WorkItem
+
+ITEMS_PER_PRODUCER = 60
+QUEUE_CAPACITY = 8
+
+
+def main() -> None:
+    machine = FlexTMMachine(SystemParams())
+    runtime = FlexTMRuntime(machine, mode=ConflictMode.LAZY)
+    queue = TQueue(machine, capacity=QUEUE_CAPACITY)
+    produced = TCounter(machine)
+    consumed_sum = TCounter(machine)
+    consumed_count = TCounter(machine)
+
+    def producer_items(base, my_count):
+        def make(value):
+            def body(ctx):
+                ok = yield from queue.enqueue(ctx, value)
+                if ok:
+                    yield from produced.increment(ctx)
+                    yield from my_count.increment(ctx)
+
+            return body
+
+        # A full queue makes enqueue a committed no-op; re-offer the
+        # same value in a fresh transaction until it lands (the item
+        # stream peeks at the committed per-producer count to advance).
+        while my_count.peek() < ITEMS_PER_PRODUCER:
+            yield WorkItem(make(base + my_count.peek()))
+
+    def consumer_items():
+        def body(ctx):
+            value = yield from queue.dequeue(ctx)
+            if value is not None:
+                yield from consumed_sum.increment(ctx, value)
+                yield from consumed_count.increment(ctx)
+
+        while consumed_count.peek() < 2 * ITEMS_PER_PRODUCER:
+            yield WorkItem(body)
+
+    counts = [TCounter(machine), TCounter(machine)]
+    threads = [
+        TxThread(0, runtime, producer_items(10_000, counts[0])),
+        TxThread(1, runtime, producer_items(20_000, counts[1])),
+        TxThread(2, runtime, consumer_items()),
+        TxThread(3, runtime, consumer_items()),
+    ]
+    result = Scheduler(machine, threads).run(cycle_limit=200_000_000)
+
+    expected_sum = sum(range(10_000, 10_000 + ITEMS_PER_PRODUCER)) + sum(
+        range(20_000, 20_000 + ITEMS_PER_PRODUCER)
+    )
+    print(f"produced       : {produced.peek()}")
+    print(f"consumed       : {consumed_count.peek()}")
+    print(f"sum check      : {consumed_sum.peek()} (expected {expected_sum})")
+    print(f"commits/aborts : {result.commits}/{result.aborts}")
+    assert consumed_count.peek() == 2 * ITEMS_PER_PRODUCER
+    assert consumed_sum.peek() == expected_sum
+    print("pipeline integrity: PASSED")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""FlexTM: Flexible Decoupled Transactional Memory Support - reproduction.
+
+A simulator-based reproduction of Shriraman, Dwarkadas & Scott's FlexTM
+(Univ. of Rochester TR #925 / ISCA 2008).  The package provides:
+
+* a cycle-approximate 16-core CMP with directory-based TMESI coherence
+  (:mod:`repro.coherence`, :mod:`repro.memory`);
+* FlexTM's decoupled mechanisms - signatures, conflict summary tables,
+  programmable data isolation, alert-on-update, overflow tables, and
+  context-switch virtualization (:mod:`repro.signatures`,
+  :mod:`repro.core`);
+* a software TM runtime with eager/lazy policies and pluggable
+  contention managers (:mod:`repro.runtime`);
+* the baseline systems CGL, RSTM, TL-2 and RTM-F (:mod:`repro.stm`);
+* the paper's workloads (:mod:`repro.workloads`), FlexWatcher
+  (:mod:`repro.tools`), area model (:mod:`repro.area`), and experiment
+  harnesses for every table and figure (:mod:`repro.harness`).
+
+Quick start::
+
+    from repro.harness.runner import ExperimentConfig, run_experiment
+
+    result = run_experiment(
+        ExperimentConfig(workload="RBTree", system="FlexTM", threads=8)
+    )
+    print(result.throughput, "committed transactions per million cycles")
+"""
+
+from repro.params import CacheGeometry, SystemParams, DEFAULT_PARAMS, small_test_params
+from repro.errors import (
+    ConfigurationError,
+    IllegalOperation,
+    OverflowTableError,
+    ProtocolError,
+    ReproError,
+    SchedulerError,
+    TransactionAborted,
+    TransactionError,
+    WatchpointError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "SystemParams",
+    "DEFAULT_PARAMS",
+    "small_test_params",
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "TransactionError",
+    "TransactionAborted",
+    "IllegalOperation",
+    "OverflowTableError",
+    "SchedulerError",
+    "WatchpointError",
+    "__version__",
+]

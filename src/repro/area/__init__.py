@@ -1,0 +1,21 @@
+"""Area/complexity analysis (Section 6, Table 2)."""
+
+from repro.area.model import (
+    AreaEstimate,
+    FlexTMAreaModel,
+    ProcessorSpec,
+    MEROM,
+    POWER6,
+    NIAGARA2,
+    PROCESSORS,
+)
+
+__all__ = [
+    "AreaEstimate",
+    "FlexTMAreaModel",
+    "ProcessorSpec",
+    "MEROM",
+    "POWER6",
+    "NIAGARA2",
+    "PROCESSORS",
+]

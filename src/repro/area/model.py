@@ -1,0 +1,191 @@
+"""Closed-form area model for FlexTM's hardware add-ons (Table 2).
+
+The paper sized processor components from published die images and the
+FlexTM additions with CACTI 6 at a uniform 65nm node.  We replace CACTI
+with a small analytical model calibrated at the same node:
+
+* **Signatures** — 2048-bit, 4-banked, separate read/write ports; the
+  published numbers imply ~0.0165 mm^2 per signature, linear in bits.
+  Each hardware context needs two (Rsig + Wsig).
+* **CSTs** — three full-map bit-vector registers per context; register
+  area is cells x bit width.
+* **State bits** — T and A per L1 line, plus ``log2(threads)`` ID bits
+  on an SMT to identify the TMI owner; the L1 grows by roughly
+  ``extra_bits / line_data_bits`` (the state array is accessed in
+  parallel with the data array, so latency is unaffected — Section 6's
+  argument), including a transistor per bit for flash-clearing.
+* **OT controller** — an FSM like Niagara-2's TSB walker plus buffers
+  and MSHRs for 8 write-backs and 8 misses, sized by the L1 line.
+
+The model's output is compared against the paper's published figures in
+the Table 2 harness; agreement is within a few percent on signatures
+and state bits and within modelling tolerance (~30%) on the small OT
+controller, whose published numbers embed per-design datapath detail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorSpec:
+    """One 65nm processor from Table 2's 'Actual Die' section."""
+
+    name: str
+    smt_threads: int
+    feature_nm: int
+    die_mm2: float
+    core_mm2: float
+    l1d_mm2: float
+    line_bytes: int
+    l2_mm2: float
+
+
+MEROM = ProcessorSpec("Merom", 1, 65, 143.0, 31.5, 1.8, 64, 49.6)
+POWER6 = ProcessorSpec("Power6", 2, 65, 340.0, 53.0, 2.6, 128, 126.0)
+NIAGARA2 = ProcessorSpec("Niagara-2", 8, 65, 342.0, 11.7, 0.4, 16, 92.0)
+
+PROCESSORS: List[ProcessorSpec] = [MEROM, POWER6, NIAGARA2]
+
+#: mm^2 for one 2048-bit 4-banked signature with separate R/W ports
+#: (calibrated against the published 65nm CACTI numbers).
+SIGNATURE_MM2_PER_2048_BITS = 0.0165
+#: mm^2 per register-file bit cell at 65nm (CST registers).
+REGISTER_CELL_MM2 = 2.0e-6
+#: OT controller: FSM floor plus buffer area per byte (8 write-back +
+#: 8 miss buffers, each one L1 line).
+OT_FSM_MM2 = 0.005
+OT_BUFFER_MM2_PER_BYTE = 1.45e-4
+OT_BUFFER_LINES = 16
+
+
+@dataclasses.dataclass
+class AreaEstimate:
+    """FlexTM add-on areas for one processor."""
+
+    processor: str
+    signature_mm2: float
+    cst_registers: int
+    cst_mm2: float
+    ot_controller_mm2: float
+    extra_state_bits: int
+    state_bit_labels: str
+    l1_increase_percent: float
+    core_increase_percent: float
+
+    def row(self) -> List[object]:
+        return [
+            self.processor,
+            round(self.signature_mm2, 3),
+            self.cst_registers,
+            round(self.ot_controller_mm2, 3),
+            f"{self.extra_state_bits}({self.state_bit_labels})",
+            f"{self.core_increase_percent:.2f}%",
+            f"{self.l1_increase_percent:.2f}%",
+        ]
+
+
+class FlexTMAreaModel:
+    """Computes Table 2's 'CACTI Prediction' section."""
+
+    def __init__(self, signature_bits: int = 2048, num_processors: int = 16):
+        self.signature_bits = signature_bits
+        self.num_processors = num_processors
+
+    def id_bits(self, spec: ProcessorSpec) -> int:
+        """Bits to name the SMT context owning a TMI line."""
+        if spec.smt_threads <= 1:
+            return 0
+        return int(math.ceil(math.log2(spec.smt_threads)))
+
+    def extra_state_bits(self, spec: ProcessorSpec) -> int:
+        """T + A per line, plus owner ID bits on an SMT."""
+        return 2 + self.id_bits(spec)
+
+    def state_bit_labels(self, spec: ProcessorSpec) -> str:
+        return "T,A" if spec.smt_threads <= 1 else "T,A,ID"
+
+    def signature_area(self, spec: ProcessorSpec) -> float:
+        """Rsig + Wsig per hardware context, linear in signature bits."""
+        per_signature = SIGNATURE_MM2_PER_2048_BITS * self.signature_bits / 2048.0
+        return 2 * spec.smt_threads * per_signature
+
+    def cst_registers(self, spec: ProcessorSpec) -> int:
+        """Three full-map registers per hardware context."""
+        return 3 * spec.smt_threads
+
+    def cst_area(self, spec: ProcessorSpec) -> float:
+        return self.cst_registers(spec) * self.num_processors * REGISTER_CELL_MM2
+
+    def ot_controller_area(self, spec: ProcessorSpec) -> float:
+        buffer_bytes = OT_BUFFER_LINES * spec.line_bytes
+        return OT_FSM_MM2 + OT_BUFFER_MM2_PER_BYTE * buffer_bytes
+
+    def l1_increase_percent(self, spec: ProcessorSpec) -> float:
+        """State-array growth relative to the line's data bits.
+
+        Includes the extra transistor per bit for flash-clear support;
+        the data array dominates L1 area, so the percentage is simply
+        extra bits over data bits.
+        """
+        data_bits = spec.line_bytes * 8
+        return 100.0 * self.extra_state_bits(spec) / data_bits
+
+    def core_increase_percent(self, spec: ProcessorSpec) -> float:
+        l1_extra_mm2 = spec.l1d_mm2 * self.l1_increase_percent(spec) / 100.0
+        total = (
+            self.signature_area(spec)
+            + self.cst_area(spec)
+            + self.ot_controller_area(spec)
+            + l1_extra_mm2
+        )
+        return 100.0 * total / spec.core_mm2
+
+    def estimate(self, spec: ProcessorSpec) -> AreaEstimate:
+        return AreaEstimate(
+            processor=spec.name,
+            signature_mm2=self.signature_area(spec),
+            cst_registers=self.cst_registers(spec),
+            cst_mm2=self.cst_area(spec),
+            ot_controller_mm2=self.ot_controller_area(spec),
+            extra_state_bits=self.extra_state_bits(spec),
+            state_bit_labels=self.state_bit_labels(spec),
+            l1_increase_percent=self.l1_increase_percent(spec),
+            core_increase_percent=self.core_increase_percent(spec),
+        )
+
+    def table(self) -> Dict[str, AreaEstimate]:
+        return {spec.name: self.estimate(spec) for spec in PROCESSORS}
+
+
+#: The paper's published Table 2 values, for comparison in harnesses
+#: and EXPERIMENTS.md.
+PUBLISHED_TABLE2 = {
+    "Merom": {
+        "signature_mm2": 0.033,
+        "cst_registers": 3,
+        "ot_controller_mm2": 0.16,
+        "extra_state_bits": 2,
+        "core_increase_percent": 0.60,
+        "l1_increase_percent": 0.35,
+    },
+    "Power6": {
+        "signature_mm2": 0.066,
+        "cst_registers": 6,
+        "ot_controller_mm2": 0.24,
+        "extra_state_bits": 3,
+        "core_increase_percent": 0.59,
+        "l1_increase_percent": 0.29,
+    },
+    "Niagara-2": {
+        "signature_mm2": 0.26,
+        "cst_registers": 24,
+        "ot_controller_mm2": 0.035,
+        "extra_state_bits": 5,
+        "core_increase_percent": 2.60,
+        "l1_increase_percent": 3.90,
+    },
+}

@@ -1,0 +1,45 @@
+"""Directory-based TMESI coherence (Section 3.3, Figure 1).
+
+The base protocol is an SGI-Origin-style MESI with the directory held at
+the shared L2.  FlexTM adds two stable states — **TMI** (transactionally
+modified, incoherent: a speculative write buffered in the private L1)
+and **TI** (transactionally invalid: a read of a remotely-threatened
+line, valid only until commit/abort) — plus signature-derived response
+types (``Threatened``, ``Exposed-Read``) and multiple-owner tracking at
+the directory.
+"""
+
+from repro.coherence.states import LineState
+from repro.coherence.messages import AccessKind, RequestType, ResponseKind, AccessResult
+
+__all__ = [
+    "LineState",
+    "AccessKind",
+    "RequestType",
+    "ResponseKind",
+    "AccessResult",
+    "L1Controller",
+    "Directory",
+    "DirectoryEntry",
+]
+
+_LAZY = {
+    "L1Controller": ("repro.coherence.l1", "L1Controller"),
+    "Directory": ("repro.coherence.directory", "Directory"),
+    "DirectoryEntry": ("repro.coherence.directory", "DirectoryEntry"),
+}
+
+
+def __getattr__(name):
+    """Lazy exports for classes that depend on :mod:`repro.memory`.
+
+    ``repro.memory.cache`` imports :class:`LineState` from this package;
+    importing the L1/directory controllers eagerly here would close an
+    import cycle through that module.
+    """
+    if name in _LAZY:
+        import importlib
+
+        module_name, attr = _LAZY[name]
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,251 @@
+"""The shared-L2 directory with multiple-owner support.
+
+An adaptation of the SGI Origin 2000 directory for a CMP: the directory
+lives at the L2 tags, tracks sharers as a bit vector, and — the FlexTM
+extension — tracks *multiple owners* for TMI lines (processors that
+issued TGETX) using the same bit-vector mechanism, pinging all of them
+on other requests.
+
+Eviction stickiness: L1s silently evict E/S/TI lines, and an M eviction
+updates the L2 copy without changing directory state, so the directory's
+lists are conservative over-approximations.  Lists are pruned lazily
+when an L1's response indicates the line was dropped *and* is not held
+sticky by the summary signatures (Cores Summary rule, Section 5).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.coherence.messages import RequestType, ResponseKind
+from repro.coherence.states import LineState
+from repro.errors import ProtocolError
+from repro.memory.cache import CacheArray
+from repro.params import SystemParams
+from repro.sim.stats import StatsRegistry
+
+
+@dataclasses.dataclass
+class DirectoryEntry:
+    """Per-line directory state: two bit vectors over processors."""
+
+    sharers: int = 0
+    owners: int = 0
+
+    def holders(self) -> int:
+        return self.sharers | self.owners
+
+    def add_sharer(self, proc: int) -> None:
+        self.sharers |= 1 << proc
+
+    def add_owner(self, proc: int) -> None:
+        self.owners |= 1 << proc
+        self.sharers &= ~(1 << proc)
+
+    def drop(self, proc: int) -> None:
+        mask = ~(1 << proc)
+        self.sharers &= mask
+        self.owners &= mask
+
+    def demote_owner_to_sharer(self, proc: int) -> None:
+        self.owners &= ~(1 << proc)
+        self.sharers |= 1 << proc
+
+    def is_owner(self, proc: int) -> bool:
+        return bool((self.owners >> proc) & 1)
+
+    def is_sharer(self, proc: int) -> bool:
+        return bool((self.sharers >> proc) & 1)
+
+    @property
+    def empty(self) -> bool:
+        return self.sharers == 0 and self.owners == 0
+
+
+def _bits(mask: int) -> List[int]:
+    """Indices of set bits, ascending."""
+    out = []
+    index = 0
+    while mask:
+        if mask & 1:
+            out.append(index)
+        mask >>= 1
+        index += 1
+    return out
+
+
+@dataclasses.dataclass
+class DirectoryOutcome:
+    """Result of one directory request, consumed by the requesting L1."""
+
+    cycles: int
+    responses: List[Tuple[int, ResponseKind]]
+    grant: LineState
+    nacked: bool = False
+
+    @property
+    def conflicts(self) -> List[Tuple[int, ResponseKind]]:
+        return [(proc, kind) for proc, kind in self.responses if kind.signals_conflict]
+
+
+class Directory:
+    """Shared L2 + directory controller.
+
+    The directory delegates per-L1 snooping through ``forward``, a
+    callable installed by the machine with signature
+    ``forward(responder, requestor, req_type, line) -> (ResponseKind | None, retained)``.
+    ``None`` means the responder has no stake in the line.
+    """
+
+    def __init__(self, params: SystemParams, stats: Optional[StatsRegistry] = None):
+        self.params = params
+        self.stats = stats or StatsRegistry()
+        self._entries: Dict[int, DirectoryEntry] = {}
+        # L2 tag array, used only for latency (state correctness is kept
+        # in the persistent entry map; see DESIGN.md §4).
+        self._l2_tags = CacheArray(params.l2.num_sets, params.l2.associativity)
+        self.forward: Optional[Callable] = None
+        # Context-switch hooks (installed by the virtualization layer).
+        self.summary_conflict_check: Optional[Callable] = None
+        # NACK filter: lines in a committed overflow table mid-copy-back.
+        self.nack_check: Optional[Callable] = None
+
+    def entry(self, line_address: int) -> DirectoryEntry:
+        if line_address not in self._entries:
+            self._entries[line_address] = DirectoryEntry()
+        return self._entries[line_address]
+
+    def peek_entry(self, line_address: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(line_address)
+
+    def warm_line(self, line_address: int) -> None:
+        """Untimed L2 fill (workload warm-up phase; no cycles charged)."""
+        if self._l2_tags.lookup(line_address) is None:
+            victim = self._l2_tags.choose_victim(line_address)
+            if victim is not None:
+                self._l2_tags.remove(victim.line_address)
+            self._l2_tags.install(line_address, LineState.E)
+
+    def _l2_latency(self, line_address: int) -> int:
+        """L2 hit latency, plus memory latency on a tag miss."""
+        cycles = self.params.l2_hit_cycles
+        if self._l2_tags.lookup(line_address) is None:
+            cycles += self.params.memory_cycles
+            victim = self._l2_tags.choose_victim(line_address)
+            if victim is not None:
+                self._l2_tags.remove(victim.line_address)
+            self._l2_tags.install(line_address, LineState.E)
+            self.stats.counter("l2.misses").increment()
+        else:
+            self.stats.counter("l2.hits").increment()
+        return cycles
+
+    def request(self, requestor: int, req_type: RequestType, line_address: int) -> DirectoryOutcome:
+        """Process one L1 miss/upgrade request end to end.
+
+        Forwards to every listed holder (other than the requestor),
+        gathers signature-qualified responses, updates the sharer/owner
+        vectors, and returns the state to grant.
+        """
+        if self.forward is None:
+            raise ProtocolError("directory has no forward hook installed")
+        self.stats.counter(f"dir.requests.{req_type.value}").increment()
+        cycles = self._l2_latency(line_address)
+
+        if self.nack_check is not None and self.nack_check(line_address, requestor):
+            self.stats.counter("dir.nacks").increment()
+            return DirectoryOutcome(cycles=cycles, responses=[], grant=LineState.I, nacked=True)
+
+        entry = self.entry(line_address)
+        is_write = req_type.is_exclusive
+        if self.summary_conflict_check is not None:
+            # Summary signatures are consulted on every L1 miss; the
+            # callee traps to the software handler when they hit.
+            cycles += self.summary_conflict_check(requestor, line_address, is_write)
+
+        responses: List[Tuple[int, ResponseKind]] = []
+        targets = _bits(entry.holders() & ~(1 << requestor))
+        if targets:
+            cycles += self.params.remote_l1_cycles
+        for responder in targets:
+            kind, retained = self.forward(responder, requestor, req_type, line_address)
+            if kind is not None:
+                responses.append((responder, kind))
+            if not retained and not self._sticky(line_address, responder):
+                entry.drop(responder)
+            elif kind is not None and not retained:
+                # Dropped but sticky: stays listed so future requests
+                # keep reaching this processor's signatures.
+                self.stats.counter("dir.sticky_retained").increment()
+            elif req_type is RequestType.GETS and retained and entry.is_owner(responder):
+                threatened = kind is ResponseKind.THREATENED
+                if not threatened:
+                    # M/E owner flushed and dropped to S; TMI owners
+                    # (threatened) keep ownership.
+                    entry.demote_owner_to_sharer(responder)
+
+        grant = self._grant_and_record(requestor, req_type, line_address, entry, responses)
+        return DirectoryOutcome(cycles=cycles, responses=responses, grant=grant)
+
+    def _sticky(self, line_address: int, processor: int) -> bool:
+        """Cores-Summary stickiness for descheduled transactions."""
+        # Installed by the virtualization layer; absent means no
+        # descheduled transactions exist.
+        checker = getattr(self, "sticky_check", None)
+        return bool(checker and checker(line_address, processor))
+
+    def _grant_and_record(
+        self,
+        requestor: int,
+        req_type: RequestType,
+        line_address: int,
+        entry: DirectoryEntry,
+        responses: List[Tuple[int, ResponseKind]],
+    ) -> LineState:
+        threatened = any(kind is ResponseKind.THREATENED for _, kind in responses)
+        if req_type is RequestType.GETS:
+            if threatened:
+                # TLoads install in TI (the L1 decides; plain Loads stay
+                # uncached).  Either way the requestor is recorded as a
+                # sharer so future TMI commits can invalidate its copy.
+                entry.add_sharer(requestor)
+                return LineState.TI
+            if entry.empty:
+                entry.add_owner(requestor)  # E grants exclusivity
+                return LineState.E
+            entry.add_sharer(requestor)
+            return LineState.S
+        if req_type is RequestType.GETX:
+            # Remote copies were invalidated by the forward loop, which
+            # also pruned holders with no remaining stake.  Holders that
+            # answered with a signature response, hold TMI, or are
+            # sticky (descheduled transactions, Cores Summary) stay
+            # listed so they keep receiving coherence requests.
+            entry.add_owner(requestor)
+            return LineState.M
+        if req_type is RequestType.TGETX:
+            entry.add_owner(requestor)  # joins the (possibly plural) owners
+            return LineState.TMI
+        raise ProtocolError(f"unknown request type {req_type}")
+
+    # -- write-back / eviction notifications ----------------------------------
+
+    def writeback(self, processor: int, line_address: int) -> int:
+        """M-line eviction: update the L2 copy, keep directory state."""
+        self.stats.counter("dir.writebacks").increment()
+        return self._l2_latency(line_address)
+
+    def drop_processor(self, processor: int, line_address: int) -> None:
+        """Remove a processor from a line's lists (explicit, e.g. tests)."""
+        entry = self._entries.get(line_address)
+        if entry is not None:
+            entry.drop(processor)
+
+    def owners_of(self, line_address: int) -> List[int]:
+        entry = self._entries.get(line_address)
+        return _bits(entry.owners) if entry else []
+
+    def sharers_of(self, line_address: int) -> List[int]:
+        entry = self._entries.get(line_address)
+        return _bits(entry.sharers) if entry else []

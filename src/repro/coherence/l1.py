@@ -1,0 +1,361 @@
+"""The private L1 cache controller (Figure 1 state machine).
+
+Processor-side behaviour (Load/Store/TLoad/TStore against the six
+stable states), remote-request handling with signature-qualified
+responses, eviction policy (silent for E/S/TI, write-back for M,
+overflow-table spill for TMI), the flash commit/abort sweeps, and the
+alert-on-update machinery all live here.
+
+TM-specific policy is injected through a small hook object so that the
+coherence layer itself stays TM-agnostic — the decoupling the paper
+argues for.  The hooks are:
+
+``classify_remote(requestor, req_type, line_address)``
+    Run the signature checks of Figure 1's response table and update the
+    responder-side CSTs; returns a :class:`ResponseKind` or ``None``
+    when neither signature hits.
+``holds_overflow(line_address)``
+    True when a TMI line for this address lives in the overflow table
+    (the L1 must still count as retaining the line).
+``spill_tmi(line_address)``
+    Move an evicted TMI line into the overflow table; returns the cycle
+    cost.
+``on_alert(line_address, reason)``
+    Deliver an alert-on-update trap (marked line invalidated/evicted).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.coherence.directory import Directory
+from repro.coherence.messages import AccessKind, AccessResult, RequestType, ResponseKind
+from repro.coherence.states import LineState
+from repro.errors import ProtocolError
+from repro.memory.cache import CacheArray, CacheLine
+from repro.memory.victim import VictimBuffer
+from repro.params import SystemParams
+from repro.sim.stats import StatsRegistry
+
+
+class NullL1Hooks:
+    """Default hooks: no signatures, no overflow table, no alerts."""
+
+    def classify_remote(self, requestor: int, req_type: RequestType, line_address: int):
+        return None
+
+    def holds_overflow(self, line_address: int) -> bool:
+        return False
+
+    def spill_tmi(self, line_address: int) -> int:
+        raise ProtocolError("TMI eviction without an overflow-table hook")
+
+    def on_alert(self, line_address: int, reason: str) -> None:
+        pass
+
+
+class L1Controller:
+    """One processor's private L1 + victim buffer + protocol engine."""
+
+    def __init__(
+        self,
+        proc_id: int,
+        params: SystemParams,
+        directory: Directory,
+        hooks=None,
+        stats: Optional[StatsRegistry] = None,
+        tmi_to_victim: bool = False,
+    ):
+        self.proc_id = proc_id
+        self.params = params
+        self.directory = directory
+        self.hooks = hooks or NullL1Hooks()
+        self.stats = stats or StatsRegistry()
+        self.array = CacheArray(params.l1.num_sets, params.l1.associativity)
+        self.victims = VictimBuffer(params.victim_buffer_entries)
+        #: E7 knob — route TMI evictions into an unbounded side buffer
+        #: instead of the OT (the paper's "ideal" overflow machine).
+        #: Only speculative lines get the unbounded treatment; plain
+        #: lines keep the normal victim buffer.
+        self.tmi_to_victim = tmi_to_victim
+        self.tmi_victims = VictimBuffer(None) if tmi_to_victim else None
+        #: Set of line addresses pinned against eviction (OT remap aid).
+        self._pinned = set()
+        #: Cycles accumulated by evictions performed inside an access.
+        self._eviction_cycles = 0
+
+    # ------------------------------------------------------------------ local
+
+    def access(self, kind: AccessKind, line_address: int) -> AccessResult:
+        """Perform one processor memory operation; returns the outcome."""
+        self.stats.counter(f"l1.access.{kind.value}").increment()
+        self._eviction_cycles = 0
+        line = self.array.lookup(line_address)
+        if line is not None:
+            hit = self._try_hit(kind, line)
+            if hit is None:
+                hit = self._upgrade(kind, line)
+        else:
+            refill = self.victims.extract(line_address)
+            if refill is None and self.tmi_victims is not None:
+                refill = self.tmi_victims.extract(line_address)
+            if refill is not None:
+                line = self._install(line_address, refill)
+                self.stats.counter("l1.victim_hits").increment()
+                hit = self._try_hit(kind, line)
+                if hit is None:
+                    hit = self._upgrade(kind, line)
+                hit.cycles += 1  # victim-buffer lookup penalty
+            else:
+                hit = self._miss(kind, line_address)
+        hit.cycles += self._eviction_cycles
+        self._eviction_cycles = 0
+        return hit
+
+    def _try_hit(self, kind: AccessKind, line: CacheLine) -> Optional[AccessResult]:
+        """Resolve the access locally when the state permits."""
+        state = line.state
+        if kind in (AccessKind.LOAD, AccessKind.TLOAD) and state.readable:
+            return AccessResult(cycles=self.params.l1_hit_cycles, state=state, hit=True)
+        if kind is AccessKind.TSTORE and state is LineState.TMI:
+            return AccessResult(cycles=self.params.l1_hit_cycles, state=state, hit=True)
+        if kind is AccessKind.STORE:
+            if state is LineState.M:
+                return AccessResult(cycles=self.params.l1_hit_cycles, state=state, hit=True)
+            if state is LineState.E:
+                line.state = LineState.M  # silent upgrade
+                return AccessResult(cycles=self.params.l1_hit_cycles, state=LineState.M, hit=True)
+            if state is LineState.TMI:
+                raise ProtocolError("non-transactional Store to a local TMI line")
+        return None
+
+    def _upgrade(self, kind: AccessKind, line: CacheLine) -> AccessResult:
+        """In-place state upgrades that need protocol actions."""
+        state = line.state
+        if kind is AccessKind.TSTORE:
+            if state is LineState.M:
+                # Figure 1: M --TStore/Flush--> TMI.  The modified data
+                # is written back so later Loads see the latest
+                # non-speculative version.  The write-back is *posted*
+                # (drains through the write buffer), so the store only
+                # pays a couple of cycles, not the L2 round trip.
+                self.directory.writeback(self.proc_id, line.line_address)
+                line.state = LineState.TMI
+                line.t_bit = True
+                self.stats.counter("l1.m_to_tmi_flush").increment()
+                return AccessResult(
+                    cycles=2 + self.params.l1_hit_cycles, state=LineState.TMI, hit=True
+                )
+            if state in (LineState.E, LineState.S, LineState.TI):
+                return self._request(AccessKind.TSTORE, RequestType.TGETX, line.line_address)
+        if kind is AccessKind.STORE and state in (LineState.S, LineState.TI):
+            return self._request(AccessKind.STORE, RequestType.GETX, line.line_address)
+        raise ProtocolError(f"no upgrade path for {kind} in {state}")
+
+    def _miss(self, kind: AccessKind, line_address: int) -> AccessResult:
+        request = {
+            AccessKind.LOAD: RequestType.GETS,
+            AccessKind.TLOAD: RequestType.GETS,
+            AccessKind.STORE: RequestType.GETX,
+            AccessKind.TSTORE: RequestType.TGETX,
+        }[kind]
+        self.stats.counter("l1.misses").increment()
+        return self._request(kind, request, line_address)
+
+    def _request(self, kind: AccessKind, request: RequestType, line_address: int) -> AccessResult:
+        outcome = self.directory.request(self.proc_id, request, line_address)
+        result = AccessResult(
+            cycles=outcome.cycles + self.params.l1_hit_cycles,
+            conflicts=outcome.conflicts,
+            state=outcome.grant,
+        )
+        if outcome.nacked:
+            result.nacked = True
+            return result
+        grant = outcome.grant
+        if grant is LineState.TI:
+            if kind is AccessKind.TLOAD:
+                self._install_or_update(line_address, LineState.TI, t_bit=True)
+            else:
+                # Strong isolation: a plain Load that was threatened
+                # reads the committed value but leaves the line uncached
+                # so that it serializes before the writing transaction.
+                existing = self.array.peek(line_address)
+                if existing is not None and not existing.state.is_transactional:
+                    self._drop_line(existing)
+                result.threatened_uncached = True
+                result.state = LineState.I
+        else:
+            self._install_or_update(line_address, grant, t_bit=grant is LineState.TMI)
+        return result
+
+    def _install_or_update(self, line_address: int, state: LineState, t_bit: bool) -> None:
+        existing = self.array.peek(line_address)
+        if existing is not None:
+            existing.state = state
+            existing.t_bit = t_bit
+            return
+        self._install(line_address, state)
+
+    def _install(self, line_address: int, state: LineState) -> CacheLine:
+        victim = self.array.choose_victim(line_address, pinned=lambda l: l.line_address in self._pinned)
+        if victim is not None:
+            self.evict(victim)
+        line = self.array.install(line_address, state)
+        line.t_bit = state.is_transactional
+        return line
+
+    # --------------------------------------------------------------- eviction
+
+    def evict(self, line: CacheLine) -> None:
+        """Apply the per-state eviction policy to a chosen victim."""
+        state = line.state
+        if line.a_bit:
+            # Tracking for an ALoaded line is lost on eviction; alert.
+            self.hooks.on_alert(line.line_address, "evicted")
+        if state is LineState.TMI:
+            if self.tmi_to_victim:
+                self.tmi_victims.insert(line.line_address, LineState.TMI)
+            else:
+                self._eviction_cycles += self.hooks.spill_tmi(line.line_address)
+                self.stats.counter("l1.tmi_overflows").increment()
+        elif state is LineState.M:
+            self._eviction_cycles += self.directory.writeback(self.proc_id, line.line_address)
+            self.victims.insert(line.line_address, LineState.E)
+        else:
+            # Silent eviction of E/S/TI: the directory keeps us listed,
+            # so conflict-detecting forwards continue to arrive.
+            self.victims.insert(line.line_address, state)
+            self.stats.counter("l1.silent_evictions").increment()
+        self.array.remove(line.line_address)
+
+    def pin(self, line_address: int) -> None:
+        """Protect a line from eviction (OT remap service routine)."""
+        self._pinned.add(line_address)
+
+    def unpin(self, line_address: int) -> None:
+        self._pinned.discard(line_address)
+
+    # ----------------------------------------------------------------- remote
+
+    def handle_forwarded(
+        self, requestor: int, req_type: RequestType, line_address: int
+    ) -> Tuple[Optional[ResponseKind], bool]:
+        """Service a request forwarded by the directory.
+
+        Returns ``(response_kind, retained)`` where ``retained`` tells
+        the directory whether we still hold a stake in the line.
+        """
+        kind = self.hooks.classify_remote(requestor, req_type, line_address)
+        line = self.array.peek(line_address)
+        in_victims = self.victims.contains(line_address)
+
+        if line is not None and line.state is LineState.TMI:
+            # TMI lines never yield: the speculative value stays private
+            # and the response (Threatened, via Wsig) was computed above.
+            return kind, True
+
+        if req_type.is_exclusive:
+            if line is not None:
+                if line.state is LineState.M:
+                    self.stats.counter("l1.remote_flushes").increment()
+                self._drop_line(line)
+            if in_victims:
+                self.victims.invalidate(line_address)
+        else:  # GETS
+            if line is not None:
+                if line.state is LineState.M:
+                    self.stats.counter("l1.remote_flushes").increment()
+                    line.state = LineState.S
+                elif line.state is LineState.E:
+                    line.state = LineState.S
+            elif in_victims:
+                refill = self.victims.extract(line_address)
+                if refill in (LineState.M, LineState.E):
+                    refill = LineState.S
+                self.victims.insert(line_address, refill)
+
+        # A responder whose signature matched retains a conflict-
+        # detection stake in the line even when its cached copy is gone
+        # (invalidated or evicted): the directory must keep it listed so
+        # *future* requestors still reach these signatures — the
+        # invariant behind Section 4.1's sticky directory information.
+        retained = (
+            kind is not None
+            or self.array.peek(line_address) is not None
+            or self.victims.contains(line_address)
+            or (self.tmi_victims is not None and self.tmi_victims.contains(line_address))
+            or self.hooks.holds_overflow(line_address)
+        )
+        return kind, retained
+
+    def _drop_line(self, line: CacheLine) -> None:
+        if line.a_bit:
+            self.hooks.on_alert(line.line_address, "invalidated")
+        self.array.remove(line.line_address)
+
+    # ------------------------------------------------------------- AOU / PDI
+
+    def aload(self, line_address: int) -> AccessResult:
+        """Mark a line for alert-on-update (loads it if necessary)."""
+        result = self.access(AccessKind.LOAD, line_address)
+        line = self.array.peek(line_address)
+        if line is not None:
+            line.a_bit = True
+        return result
+
+    def arelease(self, line_address: int) -> None:
+        """Clear the alert mark."""
+        line = self.array.peek(line_address)
+        if line is not None:
+            line.a_bit = False
+
+    def flash_commit(self) -> int:
+        """CAS-Commit success path: TMI -> M, TI -> I (flash-clear T bits)."""
+        swept = self.array.flash_transform(self._commit_line)
+        self._sweep_victims(commit=True)
+        return swept
+
+    def flash_abort(self) -> int:
+        """Abort path: TMI -> I, TI -> I."""
+        swept = self.array.flash_transform(self._abort_line)
+        self._sweep_victims(commit=False)
+        return swept
+
+    @staticmethod
+    def _commit_line(line: CacheLine) -> None:
+        line.state = line.state.after_commit()
+        line.t_bit = False
+
+    @staticmethod
+    def _abort_line(line: CacheLine) -> None:
+        line.state = line.state.after_abort()
+        line.t_bit = False
+
+    def _sweep_victims(self, commit: bool) -> None:
+        """The flash transforms also cover the victim buffers."""
+        stale = []
+        for address in list(self.victims._entries):
+            state = self.victims._entries[address]
+            new_state = state.after_commit() if commit else state.after_abort()
+            if new_state is LineState.I:
+                stale.append(address)
+            elif new_state is not state:
+                self.victims._entries[address] = new_state
+        for address in stale:
+            self.victims.invalidate(address)
+        if self.tmi_victims is not None:
+            # The TMI side buffer drains entirely: on commit its values
+            # are globally visible (the line is simply uncached now); on
+            # abort they are discarded.
+            self.tmi_victims.clear()
+
+    def speculative_lines(self):
+        """All locally buffered TMI lines (cache + TMI side buffer)."""
+        for line in self.array.valid_lines():
+            if line.state is LineState.TMI:
+                yield line.line_address
+        if self.tmi_victims is not None:
+            for address, state in list(self.tmi_victims._entries.items()):
+                if state is LineState.TMI:
+                    yield address

@@ -1,0 +1,117 @@
+"""Coherence request/response vocabulary (Section 3.3).
+
+Requestors issue three request types:
+
+* ``GETS``  — read miss (Load or TLoad): wants a sharable copy.
+* ``GETX``  — ordinary write miss/upgrade (Store): wants exclusivity.
+* ``TGETX`` — transactional store miss/upgrade (TStore): wants a copy
+  that may be speculatively updated; registers the requestor as one of
+  possibly *many* owners at the directory.
+
+Responders consult their signatures (Figure 1's response table):
+
+=========  ================  ================
+Request    hit in Wsig       hit in Rsig only
+=========  ================  ================
+GETX       Threatened        Invalidated
+TGETX      Threatened        Exposed-Read
+GETS       Threatened        Shared
+=========  ================  ================
+
+``Threatened`` signals a write conflict, ``Exposed-Read`` a read
+conflict; both cause the responder and (on receipt) the requestor to set
+the corresponding CST bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Tuple
+
+
+class AccessKind(enum.Enum):
+    """Processor-side memory operations."""
+
+    LOAD = "Load"
+    STORE = "Store"
+    TLOAD = "TLoad"
+    TSTORE = "TStore"
+
+    @property
+    def is_transactional(self) -> bool:
+        return self in (AccessKind.TLOAD, AccessKind.TSTORE)
+
+    @property
+    def is_write(self) -> bool:
+        return self in (AccessKind.STORE, AccessKind.TSTORE)
+
+
+class RequestType(enum.Enum):
+    """Messages from an L1 to the directory."""
+
+    GETS = "GETS"
+    GETX = "GETX"
+    TGETX = "TGETX"
+
+    @property
+    def is_exclusive(self) -> bool:
+        """GETX/TGETX — the 'X' set in Figure 1."""
+        return self in (RequestType.GETX, RequestType.TGETX)
+
+
+class ResponseKind(enum.Enum):
+    """Signature-qualified responses from a remote L1."""
+
+    SHARED = "Shared"
+    INVALIDATED = "Invalidated"
+    THREATENED = "Threatened"
+    EXPOSED_READ = "Exposed-Read"
+
+    @property
+    def signals_conflict(self) -> bool:
+        """True for responses produced by a signature hit.
+
+        ``INVALIDATED`` is included: it is only generated when a
+        non-transactional GETX hits a responder's Rsig (plain MESI
+        invalidations return no signature response at all), and strong
+        isolation requires the requestor to abort that responder.
+        """
+        return self in (
+            ResponseKind.THREATENED,
+            ResponseKind.EXPOSED_READ,
+            ResponseKind.INVALIDATED,
+        )
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Outcome of one processor memory operation.
+
+    Attributes:
+        cycles: latency charged to the requesting core.
+        conflicts: (responder_processor, ResponseKind) pairs for every
+            conflicting response; empty when the access was clean.
+        state: resulting local L1 state of the line.
+        hit: True when the access was satisfied without a directory
+            request.
+        threatened_uncached: True when a non-transactional load observed
+            a Threatened response and therefore left the line uncached
+            (strong-isolation read path, Section 3.5).
+        nacked: True when the access was refused (committed-OT copy-back
+            in flight) and must be retried by the issuer.
+        aborted_remote: processors whose transactions were aborted as a
+            side effect (strong isolation on non-transactional stores).
+    """
+
+    cycles: int = 0
+    conflicts: List[Tuple[int, ResponseKind]] = dataclasses.field(default_factory=list)
+    state: "object" = None
+    hit: bool = False
+    threatened_uncached: bool = False
+    nacked: bool = False
+    aborted_remote: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def conflicted(self) -> bool:
+        return bool(self.conflicts)

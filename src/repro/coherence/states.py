@@ -1,0 +1,88 @@
+"""Cache-line states: MESI plus the two PDI additions.
+
+Figure 1's encoding table::
+
+        M bit  V bit  T bit
+    I     0      0      0
+    S     0      1      0
+    M     1      0      0
+    E     1      1      0
+    TMI   1      0      1
+    TI    0      0      1
+
+TMI is "M with the T bit" — a speculatively written line whose value
+must not escape until commit; it reverts to M on commit and I on abort.
+TI is "I with the T bit" — a transactional read of a line some remote
+processor holds in TMI; the local copy is the *pre-speculative* value
+and must revert to I on either commit or abort (the remote commit could
+make it stale).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """Stable L1 line states of the TMESI protocol."""
+
+    I = "I"
+    S = "S"
+    E = "E"
+    M = "M"
+    TMI = "TMI"
+    TI = "TI"
+
+    @property
+    def encoding(self) -> tuple:
+        """(M bit, V bit, T bit) hardware encoding from Figure 1."""
+        return _ENCODING[self]
+
+    @property
+    def is_valid(self) -> bool:
+        """Line holds usable data (everything except I)."""
+        return self is not LineState.I
+
+    @property
+    def is_transactional(self) -> bool:
+        """T bit set (TMI or TI)."""
+        return self in (LineState.TMI, LineState.TI)
+
+    @property
+    def readable(self) -> bool:
+        """A local load can be satisfied from this state."""
+        return self in (LineState.S, LineState.E, LineState.M, LineState.TMI, LineState.TI)
+
+    @property
+    def writable(self) -> bool:
+        """A local (non-transactional) store can hit in this state."""
+        return self in (LineState.E, LineState.M)
+
+    @property
+    def tstore_hits(self) -> bool:
+        """A transactional store can proceed without a request."""
+        return self is LineState.TMI
+
+    def after_commit(self) -> "LineState":
+        """Flash-commit transform: TMI -> M, TI -> I, others unchanged."""
+        if self is LineState.TMI:
+            return LineState.M
+        if self is LineState.TI:
+            return LineState.I
+        return self
+
+    def after_abort(self) -> "LineState":
+        """Flash-abort transform: TMI -> I, TI -> I, others unchanged."""
+        if self in (LineState.TMI, LineState.TI):
+            return LineState.I
+        return self
+
+
+_ENCODING = {
+    LineState.I: (0, 0, 0),
+    LineState.S: (0, 1, 0),
+    LineState.M: (1, 0, 0),
+    LineState.E: (1, 1, 0),
+    LineState.TMI: (1, 0, 1),
+    LineState.TI: (0, 0, 1),
+}

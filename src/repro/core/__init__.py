@@ -1,0 +1,44 @@
+"""FlexTM's primary contribution (Section 3).
+
+The decoupled trio:
+
+* :mod:`repro.core.cst` — conflict summary tables (R-W, W-R, W-W);
+* :mod:`repro.signatures` — read/write signatures (access tracking);
+* the PDI/TMI versioning support woven through :mod:`repro.coherence`
+  and :mod:`repro.core.overflow`;
+
+plus alert-on-update (:mod:`repro.core.aou`), transaction descriptors
+and status words (:mod:`repro.core.descriptor`, :mod:`repro.core.tsw`),
+the OS-level conflict management table (:mod:`repro.core.cmt`) and the
+full machine that wires everything together
+(:mod:`repro.core.machine`).
+"""
+
+from repro.core.cst import ConflictSummaryTables, CstRegister
+from repro.core.tsw import TxStatus
+from repro.core.descriptor import ConflictMode, TransactionDescriptor
+from repro.core.aou import AlertUnit, PendingAlert
+from repro.core.overflow import OverflowTable, OverflowController
+from repro.core.cmt import ConflictManagementTable
+from repro.core.paging import PAGE_BYTES, page_lines, remap_page, unmap_page
+from repro.core.processor import FlexTMProcessor
+from repro.core.machine import FlexTMMachine
+
+__all__ = [
+    "ConflictSummaryTables",
+    "CstRegister",
+    "TxStatus",
+    "ConflictMode",
+    "TransactionDescriptor",
+    "AlertUnit",
+    "PendingAlert",
+    "OverflowTable",
+    "OverflowController",
+    "ConflictManagementTable",
+    "PAGE_BYTES",
+    "page_lines",
+    "remap_page",
+    "unmap_page",
+    "FlexTMProcessor",
+    "FlexTMMachine",
+]

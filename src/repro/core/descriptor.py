@@ -1,0 +1,110 @@
+"""Software transaction descriptors (Table 1).
+
+Every FlexTM transaction is represented by a descriptor holding the
+transaction status word (TSW) address, the eager/lazy mode flag, the
+handler entry points, and — when the transaction is suspended — the
+saved hardware state (signatures, CSTs, OT registers, buffered TMI
+values).  Descriptors live in ordinary (simulated) virtual memory and
+are reachable through the OS's Conflict Management Table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+from repro.core.cst import ConflictSummaryTables
+from repro.core.tsw import TxStatus
+from repro.signatures.bloom import Signature
+
+
+class ConflictMode(enum.Enum):
+    """The E/L bit of Table 1."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+class RunState(enum.Enum):
+    """The State field of Table 1."""
+
+    RUNNING = "running"
+    SUSPENDED = "suspended"
+
+
+@dataclasses.dataclass
+class SavedHardwareState:
+    """Hardware context spilled to memory on a context switch (§5).
+
+    Saved in the order the paper prescribes: TMI lines (the speculative
+    value overlay), OT registers, signatures, then CSTs.
+    """
+
+    overlay: Dict[int, int]
+    ot_registers: Optional[dict]
+    rsig: Signature
+    wsig: Signature
+    csts: dict
+    last_processor: int
+
+
+@dataclasses.dataclass
+class TransactionDescriptor:
+    """One transaction's software-visible identity and state."""
+
+    thread_id: int
+    tsw_address: int
+    mode: ConflictMode = ConflictMode.LAZY
+    run_state: RunState = RunState.RUNNING
+    #: AbortPC / CMPC analogues: the runtime stores callables rather
+    #: than code addresses.
+    abort_handler: Optional[object] = None
+    conflict_manager: Optional[object] = None
+    #: Saved hardware state while suspended (None when running).
+    saved: Optional[SavedHardwareState] = None
+    #: Processor the transaction last ran on (CMT indexing invariant).
+    last_processor: int = -1
+    #: Monotonic incarnation number (bumped on every restart); lets the
+    #: runtime discard alerts that raced with a restart.
+    incarnation: int = 0
+    #: Accesses performed by the current attempt (Polka's "karma").
+    accesses: int = 0
+    #: Statistics for the harnesses.
+    commits: int = 0
+    aborts: int = 0
+
+    def conflicts_with(self, line_address: int, is_write: bool) -> bool:
+        """Software signature test against *saved* state (suspended txns)."""
+        if self.saved is None:
+            return False
+        if self.saved.wsig.member(line_address):
+            return True
+        return is_write and self.saved.rsig.member(line_address)
+
+    def record_suspended_conflict(
+        self, remote_processor: int, local_was_write: bool, remote_is_write: bool
+    ) -> None:
+        """Software handler mimicking the hardware CST update (§5)."""
+        if self.saved is None:
+            raise ValueError("cannot record a conflict without saved state")
+        csts = ConflictSummaryTables(_width_of(self.saved.csts))
+        csts.restore(self.saved.csts)
+        if local_was_write and remote_is_write:
+            csts.w_w.set(remote_processor)
+        elif local_was_write:
+            csts.w_r.set(remote_processor)
+        else:
+            csts.r_w.set(remote_processor)
+        self.saved.csts = csts.save()
+
+
+def _width_of(saved_csts: dict) -> int:
+    """Smallest register width able to hold the saved bitmasks."""
+    needed = max(saved_csts.values()).bit_length() if saved_csts else 0
+    return max(needed, 16)
+
+
+def make_status(value: int) -> TxStatus:
+    """Convenience re-export used by runtime code."""
+    return TxStatus(value)

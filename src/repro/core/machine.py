@@ -1,0 +1,366 @@
+"""The FlexTM chip multiprocessor.
+
+Wires the per-core :class:`FlexTMProcessor` objects to the shared
+:class:`Directory`, owns the functional memory image and the word-level
+speculative overlays, and exposes the instruction-level interface the
+runtime drives: ``load``/``store``/``tload``/``tstore``/``cas``/
+``cas_commit``/``aload``.
+
+Every operation resolves atomically (see DESIGN.md §4) and returns the
+cycle cost for the issuing processor; the runtime's executor advances
+that processor's clock, which is what interleaves the simulated threads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+from repro.coherence.directory import Directory
+from repro.coherence.messages import AccessKind, RequestType, ResponseKind
+from repro.core.descriptor import RunState, TransactionDescriptor
+from repro.core.processor import FlexTMProcessor
+from repro.core.tsw import TxStatus
+from repro.errors import ProtocolError
+from repro.memory.address import AddressMap
+from repro.memory.main_memory import MainMemory
+from repro.params import DEFAULT_PARAMS, SystemParams
+from repro.signatures.summary import SummarySignatures
+from repro.sim.stats import StatsRegistry
+
+#: Software-handler trap cost when a summary signature hits (Section 5).
+SUMMARY_TRAP_CYCLES = 60
+#: Cost per suspended descriptor tested by the software handler.
+SUMMARY_DESC_CHECK_CYCLES = 30
+#: Word size of the simulated machine (bytes).
+WORD_BYTES = 8
+
+
+@dataclasses.dataclass
+class MemoryOpResult:
+    """Value + cycle cost + conflict report for one machine operation."""
+
+    value: int = 0
+    cycles: int = 0
+    conflicts: List[Tuple[int, ResponseKind]] = dataclasses.field(default_factory=list)
+    nacked: bool = False
+    success: bool = False  # CAS outcomes
+
+
+class FlexTMMachine:
+    """A complete simulated CMP with FlexTM extensions."""
+
+    def __init__(
+        self,
+        params: SystemParams = DEFAULT_PARAMS,
+        tmi_to_victim: bool = False,
+    ):
+        self.params = params
+        self.stats = StatsRegistry()
+        self.memory = MainMemory()
+        self.amap = AddressMap(params.line_bytes)
+        self.directory = Directory(params, self.stats)
+        self.processors = [
+            FlexTMProcessor(p, params, self.directory, stats=self.stats, tmi_to_victim=tmi_to_victim)
+            for p in range(params.num_processors)
+        ]
+        self.summary = SummarySignatures(
+            params.signature_bits, params.signature_hashes, params.num_processors
+        )
+        self.directory.forward = self._forward
+        self.directory.nack_check = self._nack_check
+        self.directory.sticky_check = self.summary.sticky_sharer
+        self.directory.summary_conflict_check = self._summary_conflict_check
+        #: TSW address -> descriptor, for abort routing.
+        self._descriptors_by_tsw: Dict[int, TransactionDescriptor] = {}
+        #: thread id -> suspended descriptor (summary-handler registry).
+        self._suspended: Dict[int, TransactionDescriptor] = {}
+        self._pending_summary_conflicts: List[Tuple[int, ResponseKind]] = []
+        # Bump-pointer allocator over the simulated address space; start
+        # past page zero so 0 can serve as a null pointer.
+        self._brk = 1 << 16
+
+    # --------------------------------------------------------------- plumbing
+
+    def _forward(
+        self, responder: int, requestor: int, req_type: RequestType, line_address: int
+    ):
+        return self.processors[responder].l1.handle_forwarded(requestor, req_type, line_address)
+
+    def _nack_check(self, line_address: int, requestor: int) -> bool:
+        now = self.processors[requestor].clock.now
+        for proc in self.processors:
+            if proc.proc_id != requestor and proc.ot.nacks(line_address, now):
+                self.stats.counter("ot.nacks").increment()
+                return True
+        return False
+
+    def _summary_conflict_check(self, requestor: int, line_address: int, is_write: bool) -> int:
+        """L2-side summary test + software handler (Section 5)."""
+        if self.summary.is_empty or not self.summary.conflicts(line_address, is_write):
+            return 0
+        cycles = SUMMARY_TRAP_CYCLES
+        self.stats.counter("summary.traps").increment()
+        for thread_id in self.summary.threads_conflicting(line_address, is_write):
+            descriptor = self._suspended.get(thread_id)
+            if descriptor is None or descriptor.saved is None:
+                continue
+            cycles += SUMMARY_DESC_CHECK_CYCLES
+            if descriptor.saved.wsig.member(line_address):
+                kind = ResponseKind.THREATENED
+                descriptor.record_suspended_conflict(
+                    requestor, local_was_write=True, remote_is_write=is_write
+                )
+            elif is_write and descriptor.saved.rsig.member(line_address):
+                kind = ResponseKind.EXPOSED_READ
+                descriptor.record_suspended_conflict(
+                    requestor, local_was_write=False, remote_is_write=True
+                )
+            else:
+                continue  # summary false positive
+            self._pending_summary_conflicts.append((descriptor.last_processor, kind))
+        return cycles
+
+    def _take_summary_conflicts(self) -> List[Tuple[int, ResponseKind]]:
+        taken, self._pending_summary_conflicts = self._pending_summary_conflicts, []
+        return taken
+
+    # -------------------------------------------------------------- allocator
+
+    def allocate(self, nbytes: int, line_aligned: bool = False) -> int:
+        """Carve out simulated memory; returns the base byte address."""
+        if nbytes <= 0:
+            raise ValueError("allocation must be positive")
+        align = self.params.line_bytes if line_aligned else WORD_BYTES
+        self._brk = (self._brk + align - 1) & ~(align - 1)
+        base = self._brk
+        self._brk += nbytes
+        return base
+
+    def allocate_words(self, nwords: int, line_aligned: bool = False) -> int:
+        return self.allocate(nwords * WORD_BYTES, line_aligned)
+
+    def warm_region(self, base: int, nbytes: int) -> None:
+        """Pre-fill L2 tags for a region (untimed warm-up, no cycles).
+
+        Used by workload setup and metadata-table construction so that
+        measured runs don't charge cold-memory misses the paper's
+        untimed warm-up phase would have absorbed.
+        """
+        for line in self.amap.lines_spanning(base, max(1, nbytes)):
+            self.directory.warm_line(line)
+
+    # ------------------------------------------------------------- operations
+
+    def load(self, proc_id: int, address: int) -> MemoryOpResult:
+        """Non-transactional load.
+
+        Strong isolation: if the line is threatened, the value read is
+        the committed one and the line is left uncached, so the read
+        serializes before the writing transaction.
+        """
+        proc = self.processors[proc_id]
+        line = self.amap.line_of(address)
+        result = proc.l1.access(AccessKind.LOAD, line)
+        self._take_summary_conflicts()  # plain reads don't act on them
+        if result.nacked:
+            return MemoryOpResult(cycles=result.cycles, nacked=True)
+        value = self._read_value(proc, address, transactional=False)
+        return MemoryOpResult(value=value, cycles=result.cycles)
+
+    def store(self, proc_id: int, address: int, value: int) -> MemoryOpResult:
+        """Non-transactional store; aborts conflicting transactions.
+
+        Section 3.5: a GETX that hits a responder's Rsig or Wsig aborts
+        the responder, so the write serializes before the (retried)
+        transaction.
+        """
+        proc = self.processors[proc_id]
+        line = self.amap.line_of(address)
+        result = proc.l1.access(AccessKind.STORE, line)
+        conflicts = result.conflicts + self._take_summary_conflicts()
+        if result.nacked:
+            return MemoryOpResult(cycles=result.cycles, nacked=True)
+        aborted = self._strong_isolation_aborts(proc_id, line, conflicts)
+        self.memory.write(address, value)
+        out = MemoryOpResult(cycles=result.cycles, conflicts=conflicts)
+        out.value = value
+        if aborted:
+            self.stats.counter("strong_isolation.aborts").increment(len(aborted))
+        return out
+
+    def tload(self, proc_id: int, address: int) -> MemoryOpResult:
+        """Transactional load: updates Rsig, may install TI, sets CSTs."""
+        proc = self.processors[proc_id]
+        if not proc.in_transaction:
+            raise ProtocolError("TLoad outside a transaction")
+        line = self.amap.line_of(address)
+        refill_cycles = proc.ot_refill(line)
+        result = proc.l1.access(AccessKind.TLOAD, line)
+        conflicts = result.conflicts + self._take_summary_conflicts()
+        if result.nacked:
+            return MemoryOpResult(cycles=result.cycles + refill_cycles, nacked=True)
+        proc.rsig.insert(line)
+        proc.note_request_conflicts(AccessKind.TLOAD, conflicts)
+        if proc.current is not None:
+            proc.current.accesses += 1
+        value = self._read_value(proc, address, transactional=True)
+        return MemoryOpResult(value=value, cycles=result.cycles + refill_cycles, conflicts=conflicts)
+
+    def tstore(self, proc_id: int, address: int, value: int) -> MemoryOpResult:
+        """Transactional store: buffers the value (PDI), updates Wsig."""
+        proc = self.processors[proc_id]
+        if not proc.in_transaction:
+            raise ProtocolError("TStore outside a transaction")
+        line = self.amap.line_of(address)
+        refill_cycles = proc.ot_refill(line)
+        result = proc.l1.access(AccessKind.TSTORE, line)
+        conflicts = result.conflicts + self._take_summary_conflicts()
+        if result.nacked:
+            return MemoryOpResult(cycles=result.cycles + refill_cycles, nacked=True)
+        proc.wsig.insert(line)
+        proc.note_request_conflicts(AccessKind.TSTORE, conflicts)
+        proc.overlay[address] = value
+        if proc.current is not None:
+            proc.current.accesses += 1
+        return MemoryOpResult(value=value, cycles=result.cycles + refill_cycles, conflicts=conflicts)
+
+    def cas(self, proc_id: int, address: int, expected: int, new: int) -> MemoryOpResult:
+        """Non-transactional compare-and-swap (abort/arbitration tool)."""
+        proc = self.processors[proc_id]
+        line = self.amap.line_of(address)
+        result = proc.l1.access(AccessKind.STORE, line)
+        conflicts = result.conflicts + self._take_summary_conflicts()
+        if result.nacked:
+            return MemoryOpResult(cycles=result.cycles, nacked=True)
+        self._strong_isolation_aborts(proc_id, line, conflicts)
+        old = self.memory.read(address)
+        out = MemoryOpResult(value=old, cycles=result.cycles, conflicts=conflicts)
+        if old == expected:
+            self.memory.write(address, new)
+            out.success = True
+            self._on_tsw_write(address, new)
+        return out
+
+    def cas_commit(self, proc_id: int) -> MemoryOpResult:
+        """The CAS-Commit instruction on the local transaction's TSW.
+
+        Success requires the TSW to still read ACTIVE *and* W-R | W-W to
+        be zero.  On success the controller flash-commits TMI/TI state,
+        makes the speculative values visible, and kicks off the OT
+        copy-back.  On a value mismatch (we were aborted) the controller
+        flash-aborts.  On a CST mismatch nothing changes — the Commit()
+        routine loops (Figure 3, line 5).
+        """
+        proc = self.processors[proc_id]
+        descriptor = proc.current
+        if descriptor is None:
+            raise ProtocolError("CAS-Commit with no running transaction")
+        line = self.amap.line_of(descriptor.tsw_address)
+        access = proc.l1.access(AccessKind.STORE, line)
+        out = MemoryOpResult(cycles=access.cycles)
+        old = self.memory.read(descriptor.tsw_address)
+        out.value = old
+        if old != TxStatus.ACTIVE:
+            proc.flash_abort()
+            self.stats.counter("commit.cas_lost_race").increment()
+            return out
+        if proc.csts.must_abort_mask != 0:
+            self.stats.counter("commit.cas_cst_fail").increment()
+            return out
+        self.memory.write(descriptor.tsw_address, TxStatus.COMMITTED)
+        # Flash commit: speculative values become globally visible in
+        # the same atomic step the TSW changes.
+        self.memory.bulk_write(proc.overlay.items())
+        proc.flash_commit(proc.clock.now + out.cycles)
+        out.success = True
+        return out
+
+    def aload(self, proc_id: int, address: int) -> MemoryOpResult:
+        """ALoad: read a line and mark it for alert-on-update."""
+        proc = self.processors[proc_id]
+        line = self.amap.line_of(address)
+        result = proc.l1.aload(line)
+        self._take_summary_conflicts()
+        proc.alerts.mark(line)
+        value = self._read_value(proc, address, transactional=False)
+        return MemoryOpResult(value=value, cycles=result.cycles)
+
+    # ----------------------------------------------------------- abort routing
+
+    def register_descriptor(self, descriptor: TransactionDescriptor) -> None:
+        self._descriptors_by_tsw[descriptor.tsw_address] = descriptor
+
+    def unregister_descriptor(self, descriptor: TransactionDescriptor) -> None:
+        self._descriptors_by_tsw.pop(descriptor.tsw_address, None)
+
+    def register_suspended(self, descriptor: TransactionDescriptor) -> None:
+        self._suspended[descriptor.thread_id] = descriptor
+
+    def unregister_suspended(self, thread_id: int) -> None:
+        self._suspended.pop(thread_id, None)
+
+    def _on_tsw_write(self, address: int, new_value: int) -> None:
+        """Hardware side-effects of a successful write to some TSW."""
+        if new_value != TxStatus.ABORTED:
+            return
+        descriptor = self._descriptors_by_tsw.get(address)
+        if descriptor is None:
+            return
+        descriptor.aborts += 1
+        if descriptor.run_state is RunState.RUNNING and descriptor.last_processor >= 0:
+            victim = self.processors[descriptor.last_processor]
+            if victim.current is descriptor:
+                # The victim's hardware reverts its speculative lines;
+                # the AOU alert (raised by the TSW-line invalidation the
+                # GETX already performed) tells the software to unwind.
+                victim.flash_abort()
+
+    def _strong_isolation_aborts(
+        self, requestor: int, line_address: int, conflicts: List[Tuple[int, ResponseKind]]
+    ) -> List[int]:
+        """Abort every transaction conflicting with a non-tx write."""
+        issuer = self.processors[requestor]
+        if issuer.in_transaction:
+            # The Commit()/manager CAS traffic of a transaction is not a
+            # 'non-transactional writer' in the Section 3.5 sense; those
+            # conflicts are CST-managed instead.
+            return []
+        aborted = []
+        for responder, _kind in conflicts:
+            victim_proc = self.processors[responder]
+            descriptor = victim_proc.current
+            if descriptor is None:
+                # Could be a suspended transaction found via summaries.
+                descriptor = self._descriptor_suspended_on(responder, line_address)
+                if descriptor is None:
+                    continue
+            if self.memory.read(descriptor.tsw_address) == TxStatus.ACTIVE:
+                self.memory.write(descriptor.tsw_address, TxStatus.ABORTED)
+                self._on_tsw_write(descriptor.tsw_address, TxStatus.ABORTED)
+                aborted.append(responder)
+        return aborted
+
+    def _descriptor_suspended_on(self, processor: int, line_address: int):
+        for descriptor in self._suspended.values():
+            if descriptor.last_processor == processor and descriptor.conflicts_with(
+                line_address, is_write=True
+            ):
+                return descriptor
+        return None
+
+    # ------------------------------------------------------------------ values
+
+    def _read_value(self, proc: FlexTMProcessor, address: int, transactional: bool) -> int:
+        if transactional and address in proc.overlay:
+            return proc.overlay[address]
+        return self.memory.read(address)
+
+    def read_status(self, descriptor: TransactionDescriptor) -> TxStatus:
+        """Debug/OS view of a TSW (no cache traffic)."""
+        from repro.core.tsw import decode_status
+
+        return decode_status(self.memory.read(descriptor.tsw_address))
+
+    def max_cycle(self) -> int:
+        return max(proc.clock.now for proc in self.processors)

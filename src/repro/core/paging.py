@@ -1,0 +1,107 @@
+"""Virtual-memory paging support (Section 4.1, "Virtual Memory Paging").
+
+Signatures are built from *physical* addresses, so the OS must
+intervene when logical-to-physical mappings change mid-transaction:
+
+* **Unmap** — the OS's invalidations are forwarded to the L1s, which
+  move invalidated TMI lines into the overflow table, where the OS can
+  see them.
+* **Re-map** (logical page assigned to a new frame) — the OS interrupts
+  every thread that mapped the page, tests each thread's Rsig/Wsig/Osig
+  for each old line address and, where present, inserts the new
+  address; it also re-tags matching OT entries with the new physical
+  address (their *logical* tags are what keep copy-back correct).
+* **Frame reuse** (old frame given to a different page) — needs no
+  action: stale signature bits can only cause false positives, hence
+  spurious (conservative) aborts.
+
+The machine model keeps a single flat address space, so these routines
+operate directly on line addresses; ``PAGE_BYTES`` fixes the page
+geometry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.machine import FlexTMMachine
+
+PAGE_BYTES = 4096
+
+
+def page_lines(machine: FlexTMMachine, page_base: int) -> List[int]:
+    """Line addresses covered by the page starting at ``page_base``."""
+    if page_base % PAGE_BYTES:
+        raise ValueError("page_base must be page-aligned")
+    return list(machine.amap.lines_spanning(page_base, PAGE_BYTES))
+
+
+def unmap_page(machine: FlexTMMachine, page_base: int) -> int:
+    """OS unmap: flush the page's TMI lines into overflow tables.
+
+    Returns the number of speculative lines moved.  Non-speculative
+    copies are simply invalidated (they can be refetched); TMI lines
+    hold the only copy of speculative data and must reach the OT, where
+    the OS instance that initiated the unmap can see them.
+    """
+    moved = 0
+    lines = set(page_lines(machine, page_base))
+    for proc in machine.processors:
+        for line_address in list(proc.l1.speculative_lines()):
+            if line_address in lines:
+                proc.spill_tmi(line_address)
+                proc.l1.array.remove(line_address)
+                moved += 1
+        # Plain copies of the unmapped page are dropped.
+        for line_address in lines:
+            cached = proc.l1.array.peek(line_address)
+            if cached is not None and not cached.state.is_transactional:
+                proc.l1.array.remove(line_address)
+            proc.l1.victims.invalidate(line_address)
+    return moved
+
+
+def remap_page(machine: FlexTMMachine, old_base: int, new_base: int) -> int:
+    """OS re-map: a logical page moves to a new physical frame.
+
+    For every processor with transactional state, each old line address
+    present in Rsig/Wsig/Osig gets its new address inserted, and OT
+    entries are re-tagged.  Returns the number of signature/OT updates
+    performed.
+    """
+    if new_base % PAGE_BYTES:
+        raise ValueError("new_base must be page-aligned")
+    old_lines = page_lines(machine, old_base)
+    delta = (new_base - old_base) >> machine.params.offset_bits
+    updates = 0
+    for proc in machine.processors:
+        for old_line in old_lines:
+            new_line = old_line + delta
+            if proc.rsig.member(old_line):
+                proc.rsig.insert(new_line)
+                updates += 1
+            if proc.wsig.member(old_line):
+                proc.wsig.insert(new_line)
+                updates += 1
+            if proc.ot.active and proc.ot.osig.member(old_line):
+                if proc.ot.table.retag(old_line, new_line):
+                    proc.ot.osig.insert(new_line)
+                    updates += 1
+        # Speculative values move with the page in the overlay.
+        for address in list(proc.overlay):
+            if old_base <= address < old_base + PAGE_BYTES:
+                proc.overlay[address - old_base + new_base] = proc.overlay.pop(address)
+    # Suspended transactions' saved signatures get the same treatment.
+    for descriptor in machine._suspended.values():
+        saved = descriptor.saved
+        if saved is None:
+            continue
+        for old_line in old_lines:
+            new_line = old_line + delta
+            if saved.rsig.member(old_line):
+                saved.rsig.insert(new_line)
+                updates += 1
+            if saved.wsig.member(old_line):
+                saved.wsig.insert(new_line)
+                updates += 1
+    return updates

@@ -1,0 +1,250 @@
+"""One FlexTM core: signatures, CSTs, AOU, OT controller, private L1.
+
+The processor object implements the L1 hook interface, which is where
+the decoupled mechanisms meet the coherence protocol:
+
+* forwarded requests are classified against ``Rsig``/``Wsig`` and the
+  responder-side CST bits are set (Figure 1's response table);
+* evicted TMI lines are spilled through the overflow controller;
+* invalidations of A-marked lines raise alerts.
+
+Requestor-side CST updates happen in :meth:`note_request_conflicts`
+when the response arrives, mirroring the hardware's symmetric update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.coherence.directory import Directory
+from repro.coherence.l1 import L1Controller
+from repro.coherence.messages import AccessKind, RequestType, ResponseKind
+from repro.core.aou import AlertUnit
+from repro.core.cst import ConflictSummaryTables
+from repro.core.descriptor import SavedHardwareState, TransactionDescriptor
+from repro.core.overflow import OverflowController
+from repro.params import SystemParams
+from repro.sim.clock import CycleClock
+from repro.sim.stats import StatsRegistry
+from repro.signatures.bloom import Signature
+
+#: Cycles for the first-overflow software trap that allocates an OT.
+OT_ALLOCATE_TRAP_CYCLES = 200
+#: Controller cycles to write one evicted TMI line into the OT.
+OT_SPILL_CYCLES = 20
+#: Controller cycles to pull an overflowed line back on an L1 miss.
+OT_REFILL_CYCLES = 20
+#: Per-line copy-back cost at commit (runs on the controller, but
+#: defines the NACK window seen by other processors).
+OT_COPYBACK_CYCLES_PER_LINE = 20
+
+
+class FlexTMProcessor:
+    """Per-core FlexTM state and hook logic."""
+
+    def __init__(
+        self,
+        proc_id: int,
+        params: SystemParams,
+        directory: Directory,
+        stats: Optional[StatsRegistry] = None,
+        tmi_to_victim: bool = False,
+    ):
+        self.proc_id = proc_id
+        self.params = params
+        self.stats = stats or StatsRegistry()
+        self.clock = CycleClock()
+        self.rsig = Signature(params.signature_bits, params.signature_hashes)
+        self.wsig = Signature(params.signature_bits, params.signature_hashes)
+        self.csts = ConflictSummaryTables(params.num_processors)
+        self.alerts = AlertUnit()
+        self.ot = OverflowController(
+            signature_bits=params.signature_bits,
+            num_hashes=params.signature_hashes,
+            default_sets=params.ot_initial_sets,
+            associativity=params.ot_associativity,
+        )
+        self.l1 = L1Controller(
+            proc_id, params, directory, hooks=self, stats=self.stats, tmi_to_victim=tmi_to_victim
+        )
+        #: Descriptor of the transaction currently running here (if any).
+        self.current: Optional[TransactionDescriptor] = None
+        #: Speculative word values of the current transaction (PDI/OT
+        #: content, value view).
+        self.overlay: Dict[int, int] = {}
+        #: FlexWatcher support: when True, *local* accesses that hit the
+        #: activated signature raise an alert (Table 4a 'activate').
+        self.local_monitoring = False
+        #: Processors this transaction's W-R/W-W registers have named —
+        #: the per-transaction statistic of the Figure 4 conflict table.
+        self.conflict_partners = set()
+
+    # -- L1 hook interface -------------------------------------------------------
+
+    def classify_remote(
+        self, requestor: int, req_type: RequestType, line_address: int
+    ) -> Optional[ResponseKind]:
+        """Signature checks for a forwarded request; sets responder CSTs."""
+        if self.wsig.member(line_address):
+            if req_type is RequestType.GETS:
+                self.csts.w_r.set(requestor)
+                self.conflict_partners.add(requestor)
+            elif req_type is RequestType.TGETX:
+                self.csts.w_w.set(requestor)
+                self.conflict_partners.add(requestor)
+            # Non-transactional GETX: strong isolation — no CST bit, the
+            # requestor aborts this transaction outright (Section 3.5).
+            self.stats.counter("cst.threatened_responses").increment()
+            return ResponseKind.THREATENED
+        if self.rsig.member(line_address):
+            if req_type is RequestType.TGETX:
+                self.csts.r_w.set(requestor)
+                self.stats.counter("cst.exposed_read_responses").increment()
+                return ResponseKind.EXPOSED_READ
+            if req_type is RequestType.GETX:
+                return ResponseKind.INVALIDATED
+            return ResponseKind.SHARED
+        return None
+
+    def holds_overflow(self, line_address: int) -> bool:
+        return self.ot.lookup(line_address)
+
+    def spill_tmi(self, line_address: int) -> int:
+        """Evicted TMI line -> overflow table; returns trap+spill cycles."""
+        cycles = OT_SPILL_CYCLES
+        if not self.ot.active:
+            self.ot.allocate(self.current.thread_id if self.current else self.proc_id)
+            cycles += OT_ALLOCATE_TRAP_CYCLES
+            self.stats.counter("ot.allocations").increment()
+        self.ot.spill(line_address)
+        self.stats.counter("ot.spills").increment()
+        return cycles
+
+    def on_alert(self, line_address: int, reason: str) -> None:
+        self.alerts.raise_alert(line_address, reason)
+
+    # -- transactional access helpers ---------------------------------------------
+
+    def ot_refill(self, line_address: int) -> int:
+        """Pull an overflowed line back into the L1 before an access.
+
+        Returns the cycles spent (0 when the line is not in the OT).
+        """
+        if not self.ot.lookup(line_address):
+            return 0
+        self.ot.extract(line_address)
+        # Reinstall as TMI; this may evict another line (possibly
+        # spilling it right back — the pathological ping-pong a sane OT
+        # geometry avoids).
+        from repro.coherence.states import LineState  # local to avoid cycle
+
+        victim = self.l1.array.choose_victim(line_address)
+        if victim is not None:
+            self.l1.evict(victim)
+        line = self.l1.array.install(line_address, LineState.TMI)
+        line.t_bit = True
+        self.stats.counter("ot.refills").increment()
+        return OT_REFILL_CYCLES
+
+    def note_request_conflicts(
+        self, kind: AccessKind, conflicts: List[Tuple[int, ResponseKind]]
+    ) -> None:
+        """Requestor-side CST updates on conflicting responses."""
+        for responder, response in conflicts:
+            if response is ResponseKind.THREATENED:
+                if kind is AccessKind.TLOAD:
+                    self.csts.r_w.set(responder)
+                elif kind is AccessKind.TSTORE:
+                    self.csts.w_w.set(responder)
+                    self.conflict_partners.add(responder)
+            elif response is ResponseKind.EXPOSED_READ and kind is AccessKind.TSTORE:
+                self.csts.w_r.set(responder)
+                self.conflict_partners.add(responder)
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def begin_transaction(self, descriptor: TransactionDescriptor) -> None:
+        """Install a descriptor; hardware registers start clean."""
+        self.current = descriptor
+        self.overlay = {}
+        self.rsig.clear()
+        self.wsig.clear()
+        self.csts.clear()
+        self.conflict_partners = set()
+        if self.ot.active:
+            self.ot.release()
+
+    def flash_commit(self, now: int) -> int:
+        """CAS-Commit success: TMI->M, TI->I, start OT copy-back.
+
+        Returns the cycle at which the OT drain completes (== ``now``
+        when nothing overflowed).
+        """
+        self.l1.flash_commit()
+        copyback_done = self.ot.begin_copyback(now, OT_COPYBACK_CYCLES_PER_LINE)
+        self.rsig.clear()
+        self.wsig.clear()
+        self.csts.clear()
+        self.overlay = {}
+        return copyback_done
+
+    def flash_abort(self) -> None:
+        """Abort: discard TMI/TI lines, clear registers, return the OT."""
+        self.l1.flash_abort()
+        self.rsig.clear()
+        self.wsig.clear()
+        self.csts.clear()
+        self.overlay = {}
+        if self.ot.active:
+            self.ot.release()
+            self.stats.counter("ot.abort_releases").increment()
+
+    def end_transaction(self) -> None:
+        self.current = None
+        self.overlay = {}
+        self.alerts.clear()
+
+    # -- context-switch virtualization (Section 5) -------------------------------
+
+    def save_transactional_state(self) -> SavedHardwareState:
+        """Spill hardware state to memory (suspend path).
+
+        Order follows the paper: TMI values (overlay), OT registers,
+        signatures, CSTs — then the abort instruction clears the cache.
+        """
+        saved = SavedHardwareState(
+            overlay=dict(self.overlay),
+            ot_registers=self.ot.save() if self.ot.active else None,
+            rsig=self.rsig.copy(),
+            wsig=self.wsig.copy(),
+            csts=self.csts.save(),
+            last_processor=self.proc_id,
+        )
+        # "The OS issues an abort instruction": revert TMI/TI to I and
+        # clear the registers so the next thread starts clean.  The
+        # speculative values live on in ``saved``.
+        self.l1.flash_abort()
+        self.rsig.clear()
+        self.wsig.clear()
+        self.csts.clear()
+        self.overlay = {}
+        if self.ot.active:
+            self.ot.release()
+        self.current = None
+        return saved
+
+    def restore_transactional_state(
+        self, descriptor: TransactionDescriptor, saved: SavedHardwareState
+    ) -> None:
+        """Reinstall a suspended transaction's registers (resume path)."""
+        self.current = descriptor
+        self.overlay = dict(saved.overlay)
+        self.rsig = saved.rsig.copy()
+        self.wsig = saved.wsig.copy()
+        self.csts.restore(saved.csts)
+        if saved.ot_registers is not None:
+            self.ot.restore(saved.ot_registers)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.current is not None

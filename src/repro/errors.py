@@ -1,0 +1,59 @@
+"""Exception hierarchy for the FlexTM reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when system parameters are inconsistent or out of range."""
+
+
+class ProtocolError(ReproError):
+    """Raised when the coherence protocol reaches an illegal state.
+
+    These indicate bugs in protocol logic (or deliberately injected
+    faults in tests), never expected runtime conditions.
+    """
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-level failures."""
+
+
+class TransactionAborted(TransactionError):
+    """Control-flow signal: the running transaction has been aborted.
+
+    Raised inside a transactional thread when its status word is changed
+    to ``ABORTED`` by an enemy (delivered through the alert-on-update
+    handler) or when the transaction aborts itself.  The runtime catches
+    it and restarts the transaction.
+    """
+
+    def __init__(self, reason: str = "aborted", *, by: int | None = None):
+        super().__init__(reason)
+        self.reason = reason
+        self.by = by
+
+
+class IllegalOperation(TransactionError):
+    """Raised when an API call is made in the wrong transaction state."""
+
+
+class OverflowTableError(ReproError):
+    """Raised on misuse of the overflow-table controller."""
+
+
+class SchedulerError(ReproError):
+    """Raised on scheduler misuse (e.g., stepping a finished machine)."""
+
+
+class WatchpointError(ReproError):
+    """Raised on FlexWatcher misconfiguration."""

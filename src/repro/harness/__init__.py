@@ -1,0 +1,27 @@
+"""Experiment harnesses: one driver per paper table/figure.
+
+* :mod:`repro.harness.runner` — generic (workload, system, threads) runs
+* :mod:`repro.harness.figure4` — throughput & scalability (Fig. 4a-g)
+  and the conflicting-transactions table
+* :mod:`repro.harness.figure5` — eager vs lazy (Fig. 5a-d) and the
+  multiprogramming mix (Fig. 5e-f)
+* :mod:`repro.harness.table2` — area estimation (Table 2)
+* :mod:`repro.harness.table4` — FlexWatcher slowdowns (Table 4b)
+* :mod:`repro.harness.overflow` — the Section 7.3 OT/redo-log study
+* :mod:`repro.harness.pathology` — Bobba-taxonomy run diagnosis
+* :mod:`repro.harness.sweep` — design-space sweeps with CSV export
+* :mod:`repro.harness.report` — paper-style text rendering
+
+Run ``python -m repro.harness all`` to regenerate every artifact.
+"""
+
+from repro.harness.runner import ExperimentConfig, run_experiment, SYSTEMS
+from repro.harness.report import format_series, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "run_experiment",
+    "SYSTEMS",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,122 @@
+"""Command-line entry point: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro.harness table2
+    python -m repro.harness table4
+    python -m repro.harness figure4 [--cycles N] [--threads 1,4,8]
+    python -m repro.harness figure5 [--cycles N]
+    python -m repro.harness conflicts
+    python -m repro.harness overflow
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _thread_list(text: str):
+    return tuple(int(part) for part in text.split(","))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate FlexTM paper tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["figure4", "figure5", "conflicts", "table2", "table4", "overflow", "all"],
+    )
+    parser.add_argument(
+        "--cycles", type=int, default=150_000, help="simulated cycles per point"
+    )
+    parser.add_argument(
+        "--threads",
+        type=_thread_list,
+        default=(1, 2, 4, 8, 16),
+        help="comma-separated thread counts",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render figure series as ASCII charts",
+    )
+    args = parser.parse_args(argv)
+
+    wants = lambda name: args.artifact in (name, "all")
+
+    if wants("table2"):
+        from repro.harness.table2 import render_table2, run_table2
+
+        print(render_table2(run_table2()))
+        print()
+    if wants("table4"):
+        from repro.harness.table4 import render_table4, run_table4
+
+        print(render_table4(run_table4()))
+        print()
+    if wants("figure4"):
+        from repro.harness.figure4 import render_figure4, run_figure4
+
+        results = run_figure4(
+            thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed
+        )
+        print(render_figure4(results))
+        if args.chart:
+            from repro.harness.charts import chart_figure4
+
+            for workload, points in results.items():
+                print()
+                print(chart_figure4(points, workload))
+        print()
+    if wants("conflicts"):
+        from repro.harness.figure4 import render_conflict_table, run_conflict_table
+
+        print(
+            render_conflict_table(
+                run_conflict_table(cycle_limit=args.cycles, seed=args.seed)
+            )
+        )
+        print()
+    if wants("figure5"):
+        from repro.harness.figure5 import (
+            render_multiprogramming,
+            render_policy,
+            run_multiprogramming,
+            run_policy_comparison,
+        )
+
+        policy_results = run_policy_comparison(
+            thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed
+        )
+        print(render_policy(policy_results))
+        if args.chart:
+            from repro.harness.charts import chart_figure5
+
+            for workload, points in policy_results.items():
+                print()
+                print(chart_figure5(points, workload))
+        print()
+        print(
+            render_multiprogramming(
+                run_multiprogramming(cycle_limit=args.cycles, seed=args.seed)
+            )
+        )
+        print()
+    if wants("overflow"):
+        from repro.harness.overflow import render_overflow, run_overflow_study
+
+        print(render_overflow(run_overflow_study(cycle_limit=args.cycles, seed=args.seed)))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.exit(0)

@@ -1,0 +1,99 @@
+"""Terminal line charts for the figure harnesses.
+
+Renders the regenerated Figure 4/5 series as ASCII plots so the shapes
+— who wins, where the crossovers are — are visible at a glance without
+leaving the terminal.  Pure text, no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Plot glyphs assigned to series in declaration order.
+SERIES_GLYPHS = "o*x+#@%&"
+
+
+def render_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "threads",
+    y_label: str = "normalized",
+) -> str:
+    """Render named (x, y) series as one ASCII chart.
+
+    X positions are mapped by *rank* of the sorted distinct x values
+    (thread sweeps are log-spaced: 1, 2, 4, 8, 16), Y linearly from 0
+    to the max.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    xs = sorted({x for points in series.values() for x, _ in points})
+    if not xs:
+        raise ValueError("series contain no points")
+    y_max = max((y for points in series.values() for _, y in points), default=1.0)
+    y_max = max(y_max, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    x_position = {
+        x: int(round(index * (width - 1) / max(1, len(xs) - 1)))
+        for index, x in enumerate(xs)
+    }
+
+    def y_row(value: float) -> int:
+        fraction = min(1.0, value / y_max)
+        return (height - 1) - int(round(fraction * (height - 1)))
+
+    legend: List[str] = []
+    for order, (name, points) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[order % len(SERIES_GLYPHS)]
+        legend.append(f"{glyph}={name}")
+        ordered = sorted(points)
+        # Line segments via simple interpolation between adjacent points.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            col0, col1 = x_position[x0], x_position[x1]
+            for col in range(col0, col1 + 1):
+                t = (col - col0) / max(1, col1 - col0)
+                row = y_row(y0 + t * (y1 - y0))
+                if grid[row][col] == " ":
+                    grid[row][col] = "."
+        for x, y in ordered:
+            grid[y_row(y)][x_position[x]] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:.2f}"
+    for row_index, row in enumerate(grid):
+        prefix = top_label if row_index == 0 else ""
+        if row_index == height - 1:
+            prefix = "0"
+        lines.append(f"{prefix:>7s} |" + "".join(row))
+    axis = " " * 8 + "+" + "-" * width
+    lines.append(axis)
+    ticks = [" "] * width
+    for x in xs:
+        label = str(int(x)) if float(x).is_integer() else f"{x:g}"
+        position = min(x_position[x], width - len(label))
+        for offset, char in enumerate(label):
+            ticks[position + offset] = char
+    lines.append(" " * 9 + "".join(ticks) + f"   ({x_label})")
+    lines.append(" " * 9 + "  ".join(legend) + f"   [y: {y_label}]")
+    return "\n".join(lines)
+
+
+def chart_figure4(points, workload: str) -> str:
+    """Chart one Figure 4 panel from Figure4Point records."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for point in points:
+        series.setdefault(point.system, []).append((point.threads, point.normalized))
+    return render_chart(series, title=f"Figure 4 — {workload}")
+
+
+def chart_figure5(points, workload: str) -> str:
+    """Chart one Figure 5 policy panel from PolicyPoint records."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for point in points:
+        series.setdefault(point.mode, []).append((point.threads, point.normalized))
+    return render_chart(series, title=f"Figure 5 — {workload} (eager vs lazy)")

@@ -1,0 +1,93 @@
+"""Pathology analysis (Bobba et al. taxonomy, cited in Section 7.3).
+
+The paper diagnoses RandomGraph's eager-mode collapse as FriendlyFire,
+FutileStall and DuellingUpgrade.  This module post-processes a run's
+statistics and thread records into pathology indicators, so harnesses
+and users can *explain* a bad curve, not just observe it.
+
+Indicators (heuristic, computed from aggregate counters):
+
+* **FriendlyFire** — transactions repeatedly abort each other without
+  anyone committing: high aborts-per-commit with a high fraction of
+  wounds landing on transactions that had themselves wounded someone.
+  We approximate with the aborts/commits ratio.
+* **FutileStall** — cycles spent stalled behind transactions that
+  eventually abort: estimated from eager-wait work relative to commits.
+* **DuellingUpgrade** — both parties read a line then try to upgrade:
+  visible as W-R conflicts that convert into symmetric W-W conflicts.
+  Approximated by the ratio of Exposed-Read to Threatened responses.
+* **Convoying** — runnable transactions queuing behind a descheduled
+  one: summary-signature traps per commit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.runtime.scheduler import RunResult
+
+
+@dataclasses.dataclass
+class PathologyReport:
+    """Heuristic pathology indicators for one run."""
+
+    aborts_per_commit: float
+    friendly_fire_risk: str
+    exposed_read_fraction: float
+    duelling_upgrade_risk: str
+    summary_traps_per_commit: float
+    convoying_risk: str
+
+    def worst(self) -> str:
+        """Name of the most pronounced pathology ('none' if healthy)."""
+        candidates = []
+        if self.friendly_fire_risk == "high":
+            candidates.append(("FriendlyFire", self.aborts_per_commit))
+        if self.duelling_upgrade_risk == "high":
+            candidates.append(("DuellingUpgrade", self.exposed_read_fraction))
+        if self.convoying_risk == "high":
+            candidates.append(("Convoying", self.summary_traps_per_commit))
+        if not candidates:
+            return "none"
+        return max(candidates, key=lambda item: item[1])[0]
+
+
+def _grade(value: float, low: float, high: float) -> str:
+    if value >= high:
+        return "high"
+    if value >= low:
+        return "moderate"
+    return "low"
+
+
+def analyze(result: RunResult) -> PathologyReport:
+    """Classify a run's contention behaviour."""
+    commits = max(1, result.commits)
+    stats: Dict[str, int] = result.stats
+    aborts_per_commit = result.aborts / commits
+    threatened = stats.get("cst.threatened_responses", 0)
+    exposed = stats.get("cst.exposed_read_responses", 0)
+    conflict_responses = threatened + exposed
+    exposed_fraction = exposed / conflict_responses if conflict_responses else 0.0
+    traps_per_commit = stats.get("summary.traps", 0) / commits
+    return PathologyReport(
+        aborts_per_commit=aborts_per_commit,
+        friendly_fire_risk=_grade(aborts_per_commit, 0.5, 2.0),
+        exposed_read_fraction=exposed_fraction,
+        duelling_upgrade_risk=_grade(exposed_fraction, 0.25, 0.5),
+        summary_traps_per_commit=traps_per_commit,
+        convoying_risk=_grade(traps_per_commit, 0.1, 1.0),
+    )
+
+
+def render(report: PathologyReport) -> str:
+    return (
+        f"aborts/commit={report.aborts_per_commit:.2f} "
+        f"(FriendlyFire: {report.friendly_fire_risk})  "
+        f"exposed-read-fraction={report.exposed_read_fraction:.2f} "
+        f"(DuellingUpgrade: {report.duelling_upgrade_risk})  "
+        f"summary-traps/commit={report.summary_traps_per_commit:.2f} "
+        f"(Convoying: {report.convoying_risk})  "
+        f"worst={report.worst()}"
+    )

@@ -1,0 +1,131 @@
+"""Generic experiment runner.
+
+One call builds a fresh machine, a TM system, a workload, and the
+threads, runs for a cycle budget, and returns the
+:class:`~repro.runtime.scheduler.RunResult`.  Every harness and
+benchmark goes through here so configurations stay comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import DEFAULT_PARAMS, SystemParams
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import RunResult, Scheduler
+from repro.runtime.txthread import TxThread
+from repro.stm.cgl import CglRuntime
+from repro.stm.logtmse import LogTmSeRuntime
+from repro.stm.rstm import RstmRuntime
+from repro.stm.rtmf import RtmfRuntime
+from repro.stm.tl2 import Tl2Runtime
+from repro.workloads import WORKLOADS
+from repro.workloads.prime import PrimeWorkload
+
+
+def _flextm(machine: FlexTMMachine, mode: ConflictMode) -> FlexTMRuntime:
+    return FlexTMRuntime(machine, mode=mode)
+
+
+SYSTEMS: Dict[str, Callable] = {
+    "CGL": lambda machine, mode: CglRuntime(machine),
+    "FlexTM": _flextm,
+    "RTM-F": lambda machine, mode: RtmfRuntime(machine, mode=mode),
+    "RSTM": lambda machine, mode: RstmRuntime(machine),
+    "TL2": lambda machine, mode: Tl2Runtime(machine),
+    "LogTM-SE": lambda machine, mode: LogTmSeRuntime(machine),
+}
+
+#: Default cycle budget per run; override with REPRO_CYCLES for longer,
+#: lower-variance experiments.
+DEFAULT_CYCLE_LIMIT = int(os.environ.get("REPRO_CYCLES", 400_000))
+
+
+@dataclasses.dataclass
+class ExperimentConfig:
+    """One (workload, system, threads) measurement point."""
+
+    workload: str
+    system: str
+    threads: int
+    mode: ConflictMode = ConflictMode.EAGER
+    cycle_limit: int = 0
+    seed: int = 42
+    params: Optional[SystemParams] = None
+    #: Extra compute-bound background threads (Figure 5e/f).
+    background_threads: int = 0
+    #: Transactional threads yield the CPU after an abort (Fig. 5e/f).
+    yield_on_abort: bool = False
+    tmi_to_victim: bool = False
+    #: Restrict the run to the first N processors (oversubscription
+    #: experiments); None uses every core.
+    processors: Optional[int] = None
+    #: Scheduling quantum in cycles (None = default policy).
+    quantum: Optional[int] = None
+
+    def resolved_cycle_limit(self) -> int:
+        return self.cycle_limit or DEFAULT_CYCLE_LIMIT
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Build everything fresh and run one measurement point."""
+    if config.workload not in WORKLOADS:
+        raise KeyError(f"unknown workload {config.workload!r}; have {sorted(WORKLOADS)}")
+    if config.system not in SYSTEMS:
+        raise KeyError(f"unknown system {config.system!r}; have {sorted(SYSTEMS)}")
+    params = config.params or DEFAULT_PARAMS
+    machine = FlexTMMachine(params, tmi_to_victim=config.tmi_to_victim)
+    backend = SYSTEMS[config.system](machine, config.mode)
+    workload = WORKLOADS[config.workload](machine, seed=config.seed)
+    abort_prime = None
+    if config.yield_on_abort:
+        abort_prime = PrimeWorkload(machine, seed=config.seed + 2)
+    threads: List[TxThread] = [
+        TxThread(
+            thread_id,
+            backend,
+            workload.items(thread_id),
+            abort_work=abort_prime.abort_work(thread_id) if abort_prime else None,
+        )
+        for thread_id in range(config.threads)
+    ]
+    if config.background_threads:
+        prime = PrimeWorkload(machine, seed=config.seed + 1)
+        base = config.threads
+        threads.extend(
+            TxThread(base + offset, backend, prime.items(base + offset))
+            for offset in range(config.background_threads)
+        )
+    processor_list = (
+        list(range(config.processors)) if config.processors is not None else None
+    )
+    scheduler = Scheduler(
+        machine, threads, quantum=config.quantum, processors=processor_list
+    )
+    return scheduler.run(cycle_limit=config.resolved_cycle_limit())
+
+
+def normalized_throughput(result: RunResult, baseline: RunResult) -> float:
+    """Throughput relative to a baseline run (Figure 4/5's y-axis)."""
+    if baseline.throughput == 0:
+        return 0.0
+    return result.throughput / baseline.throughput
+
+
+def cgl_baseline(workload: str, cycle_limit: int = 0, seed: int = 42,
+                 params: Optional[SystemParams] = None) -> RunResult:
+    """The 1-thread coarse-grain-lock run everything normalizes to."""
+    return run_experiment(
+        ExperimentConfig(
+            workload=workload,
+            system="CGL",
+            threads=1,
+            cycle_limit=cycle_limit,
+            seed=seed,
+            params=params,
+        )
+    )

@@ -1,0 +1,109 @@
+"""Parameter-sweep utility with CSV export.
+
+A thin layer over :func:`repro.harness.runner.run_experiment` for users
+running their own design-space explorations: cartesian sweeps over
+workloads, systems, thread counts, conflict modes and arbitrary
+SystemParams overrides, with results collected into rows suitable for
+spreadsheets or pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.descriptor import ConflictMode
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.params import SystemParams
+
+#: Columns every sweep row carries, in order.
+ROW_FIELDS = [
+    "workload",
+    "system",
+    "threads",
+    "mode",
+    "seed",
+    "cycles",
+    "commits",
+    "aborts",
+    "throughput",
+    "abort_ratio",
+]
+
+
+@dataclasses.dataclass
+class SweepSpec:
+    """The cartesian space to explore."""
+
+    workloads: Sequence[str]
+    systems: Sequence[str] = ("FlexTM",)
+    thread_counts: Sequence[int] = (1, 4, 8)
+    modes: Sequence[ConflictMode] = (ConflictMode.EAGER,)
+    seeds: Sequence[int] = (42,)
+    cycle_limit: int = 100_000
+    params: Optional[SystemParams] = None
+
+    def configs(self) -> Iterable[ExperimentConfig]:
+        for workload, system, threads, mode, seed in itertools.product(
+            self.workloads, self.systems, self.thread_counts, self.modes, self.seeds
+        ):
+            yield ExperimentConfig(
+                workload=workload,
+                system=system,
+                threads=threads,
+                mode=mode,
+                seed=seed,
+                cycle_limit=self.cycle_limit,
+                params=self.params,
+            )
+
+    def size(self) -> int:
+        return (
+            len(self.workloads)
+            * len(self.systems)
+            * len(self.thread_counts)
+            * len(self.modes)
+            * len(self.seeds)
+        )
+
+
+def run_sweep(spec: SweepSpec, progress=None) -> List[Dict[str, object]]:
+    """Execute the sweep; returns one dict per configuration."""
+    rows: List[Dict[str, object]] = []
+    for index, config in enumerate(spec.configs()):
+        result = run_experiment(config)
+        rows.append(
+            {
+                "workload": config.workload,
+                "system": config.system,
+                "threads": config.threads,
+                "mode": config.mode.value,
+                "seed": config.seed,
+                "cycles": result.cycles,
+                "commits": result.commits,
+                "aborts": result.aborts,
+                "throughput": round(result.throughput, 2),
+                "abort_ratio": round(result.abort_ratio, 4),
+            }
+        )
+        if progress is not None:
+            progress(index + 1, spec.size())
+    return rows
+
+
+def to_csv(rows: List[Dict[str, object]]) -> str:
+    """Render sweep rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=ROW_FIELDS, lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_csv(rows: List[Dict[str, object]], path: str) -> None:
+    with open(path, "w", newline="") as handle:
+        handle.write(to_csv(rows))

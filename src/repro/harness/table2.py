@@ -1,0 +1,52 @@
+"""Table 2 (E5): FlexTM area estimation across three 65nm processors."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.area.model import (
+    FlexTMAreaModel,
+    PROCESSORS,
+    PUBLISHED_TABLE2,
+)
+from repro.harness.report import format_table
+
+
+def run_table2(signature_bits: int = 2048, num_processors: int = 16) -> Dict[str, dict]:
+    """Model estimates paired with the paper's published values."""
+    model = FlexTMAreaModel(signature_bits=signature_bits, num_processors=num_processors)
+    out: Dict[str, dict] = {}
+    for spec in PROCESSORS:
+        estimate = model.estimate(spec)
+        out[spec.name] = {
+            "estimate": estimate,
+            "published": PUBLISHED_TABLE2[spec.name],
+        }
+    return out
+
+
+def render_table2(results: Dict[str, dict]) -> str:
+    headers = [
+        "Processor",
+        "Sig mm2 (paper)",
+        "CST regs (paper)",
+        "OT mm2 (paper)",
+        "State bits (paper)",
+        "% core (paper)",
+        "% L1D (paper)",
+    ]
+    rows: List[List[str]] = []
+    for name, data in results.items():
+        estimate, published = data["estimate"], data["published"]
+        rows.append(
+            [
+                name,
+                f"{estimate.signature_mm2:.3f} ({published['signature_mm2']})",
+                f"{estimate.cst_registers} ({published['cst_registers']})",
+                f"{estimate.ot_controller_mm2:.3f} ({published['ot_controller_mm2']})",
+                f"{estimate.extra_state_bits} ({published['extra_state_bits']})",
+                f"{estimate.core_increase_percent:.2f}% ({published['core_increase_percent']}%)",
+                f"{estimate.l1_increase_percent:.2f}% ({published['l1_increase_percent']}%)",
+            ]
+        )
+    return format_table(headers, rows, title="Table 2: FlexTM area estimation (model vs paper)")

@@ -1,0 +1,57 @@
+"""Table 4(b) (E6): FlexWatcher vs Discover slowdowns on BugBench."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.harness.report import format_table
+from repro.tools.bugbench import BUGBENCH, run_program
+from repro.tools.discover import DiscoverInstrumenter
+
+#: The paper's published Table 4(b) values.
+PUBLISHED_TABLE4 = {
+    "BC-BO": {"flexwatcher": 1.50, "discover": 75.0},
+    "Gzip-BO": {"flexwatcher": 1.15, "discover": 17.0},
+    "Gzip-IV": {"flexwatcher": 1.05, "discover": None},
+    "Man": {"flexwatcher": 1.80, "discover": 65.0},
+    "Squid": {"flexwatcher": 2.50, "discover": None},
+}
+
+
+def run_table4(seed: int = 7) -> Dict[str, dict]:
+    discover = DiscoverInstrumenter()
+    out: Dict[str, dict] = {}
+    for name, program in BUGBENCH.items():
+        report = run_program(program, seed=seed)
+        out[name] = {
+            "flexwatcher": report.slowdown,
+            "discover": discover.slowdown(program),
+            "bugs_detected": report.bugs_detected,
+            "alerts": report.alerts,
+            "false_alerts": report.false_alerts,
+            "published": PUBLISHED_TABLE4[name],
+        }
+    return out
+
+
+def render_table4(results: Dict[str, dict]) -> str:
+    headers = ["Program", "FxW (paper)", "Discover (paper)", "Bugs", "Alerts", "False"]
+    rows = []
+    for name, data in results.items():
+        published = data["published"]
+        discover = data["discover"]
+        discover_text = f"{discover:.0f}x" if discover else "N/A"
+        published_discover = (
+            f"{published['discover']:.0f}x" if published["discover"] else "N/A"
+        )
+        rows.append(
+            [
+                name,
+                f"{data['flexwatcher']:.2f}x ({published['flexwatcher']}x)",
+                f"{discover_text} ({published_discover})",
+                data["bugs_detected"],
+                data["alerts"],
+                data["false_alerts"],
+            ]
+        )
+    return format_table(headers, rows, title="Table 4(b): FlexWatcher vs Discover")

@@ -1,0 +1,14 @@
+"""Memory-hierarchy substrate: address math, caches, victim buffer."""
+
+from repro.memory.address import AddressMap
+from repro.memory.cache import CacheArray, CacheLine
+from repro.memory.victim import VictimBuffer
+from repro.memory.main_memory import MainMemory
+
+__all__ = [
+    "AddressMap",
+    "CacheArray",
+    "CacheLine",
+    "VictimBuffer",
+    "MainMemory",
+]

@@ -1,0 +1,46 @@
+"""Address arithmetic shared across the hierarchy.
+
+Simulated addresses are plain non-negative integers (byte addresses).
+All coherence and signature machinery operates on *line addresses*
+(byte address with the offset bits stripped).
+"""
+
+from __future__ import annotations
+
+
+class AddressMap:
+    """Byte-address <-> line-address conversion for one line size."""
+
+    __slots__ = ("line_bytes", "offset_bits")
+
+    def __init__(self, line_bytes: int):
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        self.line_bytes = line_bytes
+        self.offset_bits = line_bytes.bit_length() - 1
+
+    def line_of(self, byte_address: int) -> int:
+        """Line address containing a byte address."""
+        if byte_address < 0:
+            raise ValueError("addresses are non-negative")
+        return byte_address >> self.offset_bits
+
+    def base_of(self, line_address: int) -> int:
+        """First byte address of a line."""
+        return line_address << self.offset_bits
+
+    def offset_of(self, byte_address: int) -> int:
+        """Offset of a byte within its line."""
+        return byte_address & (self.line_bytes - 1)
+
+    def lines_spanning(self, byte_address: int, length: int) -> range:
+        """Line addresses touched by ``length`` bytes starting at ``byte_address``."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        first = self.line_of(byte_address)
+        last = self.line_of(byte_address + length - 1)
+        return range(first, last + 1)
+
+    def set_index(self, line_address: int, num_sets: int) -> int:
+        """Set selection: low-order line-address bits."""
+        return line_address & (num_sets - 1)

@@ -1,0 +1,152 @@
+"""A set-associative cache array with LRU replacement.
+
+The array stores :class:`CacheLine` records carrying the coherence state
+bits of Figure 2: the MESI state is encoded by the protocol layer; the
+``T`` (transactional/TMI or TI) and ``A`` (alert-on-update mark) bits
+live here so the flash-clear commit/abort operations can sweep them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.coherence.states import LineState
+from repro.errors import ProtocolError
+
+
+@dataclasses.dataclass
+class CacheLine:
+    """One L1 line: tag + coherence and FlexTM state bits."""
+
+    line_address: int
+    state: LineState = LineState.I
+    # FlexTM bits (Figure 2): T marks TMI/TI encodings, A marks AOU lines.
+    t_bit: bool = False
+    a_bit: bool = False
+    # SMT owner id for TMI lines (unused on single-threaded cores).
+    owner_context: int = 0
+    # Monotonic timestamp for LRU.
+    last_use: int = 0
+
+    @property
+    def is_speculative(self) -> bool:
+        """True for TMI (speculatively written) lines."""
+        return self.state is LineState.TMI
+
+    def __repr__(self) -> str:
+        flags = ("T" if self.t_bit else "") + ("A" if self.a_bit else "")
+        return f"CacheLine(0x{self.line_address:x}, {self.state.name}{',' + flags if flags else ''})"
+
+
+class CacheArray:
+    """Tag/state array for a private cache.
+
+    Data values are not stored here — the simulator is state-accurate,
+    not value-accurate, at the cache level (values live in the
+    functional memory image held by the machine).
+    """
+
+    def __init__(self, num_sets: int, associativity: int):
+        if num_sets <= 0 or num_sets & (num_sets - 1):
+            raise ValueError("num_sets must be a positive power of two")
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        self.num_sets = num_sets
+        self.associativity = associativity
+        self._sets: List[Dict[int, CacheLine]] = [{} for _ in range(num_sets)]
+        self._use_tick = 0
+
+    def _set_for(self, line_address: int) -> Dict[int, CacheLine]:
+        return self._sets[line_address & (self.num_sets - 1)]
+
+    def set_index(self, line_address: int) -> int:
+        return line_address & (self.num_sets - 1)
+
+    def lookup(self, line_address: int) -> Optional[CacheLine]:
+        """Find a valid line (state != I), updating LRU on hit."""
+        line = self._set_for(line_address).get(line_address)
+        if line is None or line.state is LineState.I:
+            return None
+        self._use_tick += 1
+        line.last_use = self._use_tick
+        return line
+
+    def peek(self, line_address: int) -> Optional[CacheLine]:
+        """Find a line without touching LRU state (snoops, asserts)."""
+        line = self._set_for(line_address).get(line_address)
+        if line is None or line.state is LineState.I:
+            return None
+        return line
+
+    def choose_victim(self, line_address: int, pinned: Optional[Callable[[CacheLine], bool]] = None) -> Optional[CacheLine]:
+        """LRU victim in ``line_address``'s set, or None if there is room.
+
+        ``pinned`` lines are skipped (used to keep one way free for
+        non-TMI lines during OT remapping, Section 4.1); if every way is
+        pinned the least-recently-used pinned line is returned anyway so
+        the caller can take its slow path.
+        """
+        cache_set = self._set_for(line_address)
+        valid = [line for line in cache_set.values() if line.state is not LineState.I]
+        if len(valid) < self.associativity:
+            return None
+        candidates = valid
+        if pinned is not None:
+            unpinned = [line for line in valid if not pinned(line)]
+            if unpinned:
+                candidates = unpinned
+        return min(candidates, key=lambda line: line.last_use)
+
+    def install(self, line_address: int, state: LineState) -> CacheLine:
+        """Place a line; the set must have room (caller evicts first)."""
+        cache_set = self._set_for(line_address)
+        existing = cache_set.get(line_address)
+        if existing is not None and existing.state is not LineState.I:
+            raise ProtocolError(f"line 0x{line_address:x} already present as {existing.state.name}")
+        valid = sum(1 for line in cache_set.values() if line.state is not LineState.I)
+        if valid >= self.associativity:
+            raise ProtocolError(f"set for 0x{line_address:x} is full; evict first")
+        self._use_tick += 1
+        line = CacheLine(line_address=line_address, state=state, last_use=self._use_tick)
+        cache_set[line_address] = line
+        return line
+
+    def remove(self, line_address: int) -> None:
+        """Drop a line entirely (post-eviction cleanup)."""
+        self._set_for(line_address).pop(line_address, None)
+
+    def valid_lines(self) -> Iterator[CacheLine]:
+        """All lines whose state is not I."""
+        for cache_set in self._sets:
+            for line in cache_set.values():
+                if line.state is not LineState.I:
+                    yield line
+
+    def occupancy(self) -> int:
+        return sum(1 for _ in self.valid_lines())
+
+    def set_occupancy(self, line_address: int) -> int:
+        cache_set = self._set_for(line_address)
+        return sum(1 for line in cache_set.values() if line.state is not LineState.I)
+
+    def flash_transform(self, transform: Callable[[CacheLine], None]) -> int:
+        """Apply a state transform to every valid line; returns lines touched.
+
+        Models the flash commit/abort hardware: a single-cycle sweep
+        conditioned on the T bits.
+        """
+        touched = 0
+        for cache_set in self._sets:
+            dead = []
+            for line in cache_set.values():
+                if line.state is LineState.I:
+                    dead.append(line.line_address)
+                    continue
+                transform(line)
+                touched += 1
+                if line.state is LineState.I:
+                    dead.append(line.line_address)
+            for address in dead:
+                cache_set.pop(address, None)
+        return touched

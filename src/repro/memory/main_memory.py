@@ -1,0 +1,43 @@
+"""Functional memory image.
+
+The protocol layers are state-accurate; actual data values live here so
+that workloads (and the versioning tests that check redo-log semantics)
+can verify that committed values become visible and aborted values do
+not.  Values are per-*word* (we use the byte address as the word key);
+a line's worth of words moves on line fills and write-backs, but since
+the image is flat we only need per-word reads/writes plus the notion of
+a speculative overlay maintained by the versioning layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+
+class MainMemory:
+    """Flat word-addressable backing store with a default value of 0."""
+
+    def __init__(self):
+        self._words: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, address: int) -> int:
+        self.reads += 1
+        return self._words.get(address, 0)
+
+    def write(self, address: int, value: int) -> None:
+        self.writes += 1
+        self._words[address] = value
+
+    def bulk_write(self, updates: Iterable[tuple]) -> None:
+        """Apply (address, value) pairs — commit-time redo-log drain."""
+        for address, value in updates:
+            self.write(address, value)
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all non-default words (test/debug aid)."""
+        return dict(self._words)
+
+    def __len__(self) -> int:
+        return len(self._words)

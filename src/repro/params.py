@@ -1,0 +1,133 @@
+"""System configuration for the simulated FlexTM chip multiprocessor.
+
+Defaults follow Table 3(a) of the paper: a 16-way CMP with 1.2 GHz
+in-order single-issue cores (non-memory IPC = 1), 32 KB 2-way private L1s
+with 64-byte blocks and a 32-entry victim buffer, 2048-bit signatures, an
+8 MB shared L2 (20-cycle latency), and 250-cycle memory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheGeometry:
+    """Size/shape of one cache level.
+
+    Attributes:
+        size_bytes: total capacity of the data array.
+        associativity: number of ways per set.
+        line_bytes: block size in bytes (shared across the hierarchy).
+    """
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+
+    def __post_init__(self) -> None:
+        for name in ("size_bytes", "associativity", "line_bytes"):
+            value = getattr(self, name)
+            if not _is_power_of_two(value):
+                raise ConfigurationError(f"{name} must be a power of two, got {value}")
+        if self.size_bytes < self.associativity * self.line_bytes:
+            raise ConfigurationError(
+                "cache smaller than a single set: "
+                f"{self.size_bytes} < {self.associativity} * {self.line_bytes}"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / ways)."""
+        return self.num_lines // self.associativity
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemParams:
+    """Full machine configuration (Table 3a defaults).
+
+    The latencies are in processor cycles and are charged to the
+    requesting core per memory operation; non-memory instructions cost
+    ``cpu_op_cycles`` each (IPC = 1 in the paper's in-order cores).
+    """
+
+    num_processors: int = 16
+    l1: CacheGeometry = dataclasses.field(
+        default_factory=lambda: CacheGeometry(size_bytes=32 * 1024, associativity=2, line_bytes=64)
+    )
+    l2: CacheGeometry = dataclasses.field(
+        default_factory=lambda: CacheGeometry(size_bytes=8 * 1024 * 1024, associativity=8, line_bytes=64)
+    )
+    victim_buffer_entries: int = 32
+    signature_bits: int = 2048
+    signature_hashes: int = 4
+    l1_hit_cycles: int = 1
+    l2_hit_cycles: int = 20
+    memory_cycles: int = 250
+    remote_l1_cycles: int = 20  # forwarded request to a peer L1 via directory
+    cpu_op_cycles: int = 1
+    # Overflow table: ways per set in the in-memory table.
+    ot_associativity: int = 8
+    ot_initial_sets: int = 64
+    # Scheduling quantum (cycles) used by the virtualization layer.
+    quantum_cycles: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ConfigurationError("num_processors must be >= 1")
+        if self.l1.line_bytes != self.l2.line_bytes:
+            raise ConfigurationError("L1 and L2 must share a line size")
+        if not _is_power_of_two(self.signature_bits):
+            raise ConfigurationError("signature_bits must be a power of two")
+        if self.signature_hashes < 1:
+            raise ConfigurationError("signature_hashes must be >= 1")
+        for name in (
+            "l1_hit_cycles",
+            "l2_hit_cycles",
+            "memory_cycles",
+            "remote_l1_cycles",
+            "cpu_op_cycles",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+
+    @property
+    def line_bytes(self) -> int:
+        """Cache line size shared by the whole hierarchy."""
+        return self.l1.line_bytes
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of address bits covered by a cache line."""
+        return self.line_bytes.bit_length() - 1
+
+
+DEFAULT_PARAMS = SystemParams()
+
+
+def small_test_params(num_processors: int = 4) -> SystemParams:
+    """A reduced configuration that keeps unit tests fast.
+
+    Uses a tiny L1 so that eviction/overflow paths are exercised with a
+    handful of accesses rather than thousands.
+    """
+    return SystemParams(
+        num_processors=num_processors,
+        l1=CacheGeometry(size_bytes=1024, associativity=2, line_bytes=64),
+        l2=CacheGeometry(size_bytes=64 * 1024, associativity=8, line_bytes=64),
+        victim_buffer_entries=4,
+        signature_bits=256,
+        signature_hashes=2,
+        ot_initial_sets=4,
+    )

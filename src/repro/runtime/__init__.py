@@ -1,0 +1,40 @@
+"""The TM runtime: programming model, backends, threads, scheduler.
+
+This is the software half of FlexTM's hardware/software split — the
+BEGIN/END_TRANSACTION macros, the Commit() routine of Figure 3, eager
+conflict-manager dispatch, and the OS-level context-switch machinery —
+plus the baseline TM systems (in :mod:`repro.stm`) that share the same
+programming model so workloads run unmodified on every system.
+"""
+
+from repro.runtime.api import TMBackend, TxContext
+from repro.runtime.contention import (
+    AggressiveManager,
+    ConflictManager,
+    PolkaManager,
+    TimidManager,
+    TimestampManager,
+)
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.tmtypes import TArray, TCounter, TQueue, TStack, TVar
+from repro.runtime.txthread import TxThread
+from repro.runtime.scheduler import Scheduler, RunResult
+
+__all__ = [
+    "TMBackend",
+    "TxContext",
+    "ConflictManager",
+    "PolkaManager",
+    "AggressiveManager",
+    "TimidManager",
+    "TimestampManager",
+    "FlexTMRuntime",
+    "TxThread",
+    "Scheduler",
+    "RunResult",
+    "TVar",
+    "TCounter",
+    "TArray",
+    "TQueue",
+    "TStack",
+]

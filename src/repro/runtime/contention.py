@@ -1,0 +1,112 @@
+"""Contention (conflict) managers.
+
+The paper uses **Polka** (Scherer & Scott) for every system evaluated:
+a requestor backs off a bounded number of times — proportional to the
+*karma* gap between itself and its enemy, with exponentially growing
+intervals — and then aborts the enemy.  Karma is the number of objects
+(here: accesses) the transaction has opened.
+
+Managers are pure decision functions: the backend asks what to do about
+one conflict attempt and executes the outcome itself, so managers stay
+trivially portable across TM systems (the policy/mechanism split the
+paper advocates).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.sim.rng import DeterministicRng
+
+
+class Decision(enum.Enum):
+    """What the manager wants done about an open conflict."""
+
+    WAIT = "wait"
+    ABORT_ENEMY = "abort-enemy"
+    ABORT_SELF = "abort-self"
+
+
+@dataclasses.dataclass(frozen=True)
+class Ruling:
+    """A decision plus the back-off to apply when it is WAIT."""
+
+    decision: Decision
+    backoff_cycles: int = 0
+
+
+class ConflictManager:
+    """Base class: subclasses override :meth:`decide`."""
+
+    name = "base"
+
+    def __init__(self, rng: DeterministicRng = None):
+        self.rng = rng or DeterministicRng(0xC0)
+
+    def decide(self, attempt: int, my_karma: int, enemy_karma: int) -> Ruling:
+        raise NotImplementedError
+
+    def retry_backoff(self, aborts_in_a_row: int) -> int:
+        """Back-off applied before restarting an aborted transaction."""
+        window = min(aborts_in_a_row, 8)
+        return self.rng.randint(0, (1 << window) * 16)
+
+
+class PolkaManager(ConflictManager):
+    """Polka: karma-gap bounded exponential back-off, then abort enemy."""
+
+    name = "Polka"
+
+    def __init__(self, rng: DeterministicRng = None, base_backoff: int = 16, max_attempts: int = 6):
+        super().__init__(rng)
+        self.base_backoff = base_backoff
+        self.max_attempts = max_attempts
+
+    def decide(self, attempt: int, my_karma: int, enemy_karma: int) -> Ruling:
+        budget = max(1, enemy_karma - my_karma)
+        budget = min(budget, self.max_attempts)
+        if attempt < budget:
+            window = self.base_backoff << min(attempt, 10)
+            return Ruling(Decision.WAIT, self.rng.randint(1, window))
+        return Ruling(Decision.ABORT_ENEMY)
+
+
+class AggressiveManager(ConflictManager):
+    """Always abort the enemy immediately (maximum wounding)."""
+
+    name = "Aggressive"
+
+    def decide(self, attempt: int, my_karma: int, enemy_karma: int) -> Ruling:
+        return Ruling(Decision.ABORT_ENEMY)
+
+
+class TimidManager(ConflictManager):
+    """Always abort self (the only option LogTM-SE/SigTM hardware has)."""
+
+    name = "Timid"
+
+    def decide(self, attempt: int, my_karma: int, enemy_karma: int) -> Ruling:
+        return Ruling(Decision.ABORT_SELF)
+
+
+class TimestampManager(ConflictManager):
+    """Older transaction wins; karma stands in for age here.
+
+    The caller passes start-cycle-derived karma values, so a larger
+    karma means an older (higher-priority) transaction.
+    """
+
+    name = "Timestamp"
+
+    def __init__(self, rng: DeterministicRng = None, wait_cycles: int = 64, max_attempts: int = 4):
+        super().__init__(rng)
+        self.wait_cycles = wait_cycles
+        self.max_attempts = max_attempts
+
+    def decide(self, attempt: int, my_karma: int, enemy_karma: int) -> Ruling:
+        if my_karma >= enemy_karma:
+            return Ruling(Decision.ABORT_ENEMY)
+        if attempt < self.max_attempts:
+            return Ruling(Decision.WAIT, self.rng.randint(1, self.wait_cycles << attempt))
+        return Ruling(Decision.ABORT_SELF)

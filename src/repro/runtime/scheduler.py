@@ -1,0 +1,260 @@
+"""The timing-driven multi-core scheduler.
+
+The executor always steps the thread whose processor clock is furthest
+behind (ties broken by processor id), so simulated interleavings follow
+the relative progress of the cores — the property that makes contention
+pathologies reproducible (DESIGN.md §4).
+
+With more threads than processors (or an explicit quantum) the
+scheduler context-switches: the OS path spills the running
+transaction's hardware state through the backend's ``suspend`` hook,
+installs summary signatures, and later resumes (or abort-restarts, on
+migration) via ``resume`` — Section 5 of the paper.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.core.machine import FlexTMMachine, MemoryOpResult
+from repro.errors import SchedulerError, TransactionAborted
+from repro.runtime.txthread import TxThread
+
+#: OS cost to switch a thread out / in (trap + register state).
+SWITCH_OUT_CYCLES = 400
+SWITCH_IN_CYCLES = 400
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Aggregate outcome of one simulation run."""
+
+    cycles: int
+    commits: int
+    aborts: int
+    nontx_items: int
+    per_thread: List[Dict[str, int]]
+    stats: Dict[str, int]
+    conflict_degrees: List[int]
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per million cycles (Figure 4's metric)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.commits * 1_000_000 / self.cycles
+
+    @property
+    def abort_ratio(self) -> float:
+        total = self.commits + self.aborts
+        return self.aborts / total if total else 0.0
+
+
+class _Slot:
+    """Book-keeping for one thread's generator."""
+
+    __slots__ = ("thread", "gen", "pending_value", "pending_exc", "slice_start", "done")
+
+    def __init__(self, thread: TxThread):
+        self.thread = thread
+        self.gen = thread.run()
+        self.pending_value = None
+        self.pending_exc: Optional[BaseException] = None
+        self.slice_start = 0
+        self.done = False
+
+
+class Scheduler:
+    """Drives a set of TxThreads over the machine's processors."""
+
+    def __init__(
+        self,
+        machine: FlexTMMachine,
+        threads: List[TxThread],
+        quantum: Optional[int] = None,
+        processors: Optional[List[int]] = None,
+    ):
+        if not threads:
+            raise SchedulerError("no threads to run")
+        self.machine = machine
+        self.slots = [_Slot(thread) for thread in threads]
+        self.quantum = quantum
+        available = processors if processors is not None else list(range(machine.params.num_processors))
+        if not available:
+            raise SchedulerError("no processors available")
+        self._procs = available
+        self._running: Dict[int, _Slot] = {}
+        self._ready: collections.deque = collections.deque()
+        for slot in self.slots:
+            if len(self._running) < len(available):
+                proc = available[len(self._running)]
+                slot.thread.processor = proc
+                slot.slice_start = 0
+                self._running[proc] = slot
+            else:
+                self._ready.append(slot)
+        if len(self.slots) > len(available) and self.quantum is None:
+            self.quantum = machine.params.quantum_cycles
+
+    # ---------------------------------------------------------------- running
+
+    def run(self, cycle_limit: int) -> RunResult:
+        """Simulate until every thread finishes or passes the limit."""
+        if cycle_limit <= 0:
+            raise SchedulerError("cycle_limit must be positive")
+        while True:
+            proc = self._pick_processor(cycle_limit)
+            if proc is None:
+                break
+            self._step(proc, cycle_limit)
+        return self._result(cycle_limit)
+
+    def _pick_processor(self, cycle_limit: int) -> Optional[int]:
+        """Least-advanced processor still under the limit with work."""
+        best, best_now = None, None
+        for proc, slot in self._running.items():
+            if slot.done:
+                continue
+            now = self.machine.processors[proc].clock.now
+            if now >= cycle_limit:
+                continue
+            if best_now is None or now < best_now or (now == best_now and proc < best):
+                best, best_now = proc, now
+        return best
+
+    def _step(self, proc: int, cycle_limit: int) -> None:
+        slot = self._running[proc]
+        clock = self.machine.processors[proc].clock
+        if (
+            self.quantum is not None
+            and self._ready
+            and clock.now - slot.slice_start >= self.quantum
+        ):
+            self._preempt(proc, slot)
+            return
+        thread = slot.thread
+        if (
+            slot.pending_exc is None
+            and thread.in_transaction
+            and thread.backend.check_aborted(thread)
+        ):
+            slot.pending_exc = TransactionAborted("status word changed", by=-1)
+        try:
+            if slot.pending_exc is not None:
+                exc, slot.pending_exc = slot.pending_exc, None
+                op = slot.gen.throw(exc)
+            else:
+                op = slot.gen.send(slot.pending_value)
+        except StopIteration:
+            self._retire(proc, slot)
+            return
+        slot.pending_value = self._execute(proc, slot, op)
+
+    # -------------------------------------------------------------- op engine
+
+    def _execute(self, proc: int, slot: _Slot, op) -> Optional[MemoryOpResult]:
+        machine = self.machine
+        kind = op[0]
+        clock = machine.processors[proc].clock
+        if kind == "work":
+            clock.advance(max(1, op[1]))
+            return None
+        if kind == "tload":
+            result = machine.tload(proc, op[1])
+        elif kind == "tstore":
+            result = machine.tstore(proc, op[1], op[2])
+        elif kind == "load":
+            result = machine.load(proc, op[1])
+        elif kind == "store":
+            result = machine.store(proc, op[1], op[2])
+        elif kind == "cas":
+            result = machine.cas(proc, op[1], op[2], op[3])
+        elif kind == "cas_commit":
+            result = machine.cas_commit(proc)
+        elif kind == "aload":
+            result = machine.aload(proc, op[1])
+        elif kind == "yield_cpu":
+            self._voluntary_yield(proc, slot)
+            return None
+        else:
+            raise SchedulerError(f"unknown op {op!r}")
+        clock.advance(max(1, result.cycles))
+        return result
+
+    # ------------------------------------------------------- context switching
+
+    def _preempt(self, proc: int, slot: _Slot) -> None:
+        """Quantum expiry: switch the running thread out (Section 5)."""
+        thread = slot.thread
+        thread.saved_ctx = thread.backend.suspend(thread)
+        self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
+        self.machine.stats.counter("ctxsw.switches").increment()
+        thread.processor = None
+        self._ready.append(slot)
+        self._dispatch(proc)
+
+    def _voluntary_yield(self, proc: int, slot: _Slot) -> None:
+        """yield_cpu op: give the core away if anyone is waiting."""
+        if not self._ready:
+            self.machine.processors[proc].clock.advance(1)
+            return
+        thread = slot.thread
+        thread.saved_ctx = thread.backend.suspend(thread)
+        self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
+        self.machine.stats.counter("ctxsw.yields").increment()
+        thread.processor = None
+        self._ready.append(slot)
+        self._dispatch(proc)
+
+    def _dispatch(self, proc: int) -> None:
+        """Give a free processor to the next ready thread."""
+        if not self._ready:
+            self._running.pop(proc, None)
+            return
+        slot = self._ready.popleft()
+        thread = slot.thread
+        thread.processor = proc
+        clock = self.machine.processors[proc].clock
+        clock.advance(SWITCH_IN_CYCLES)
+        status = thread.backend.resume(thread, proc, thread.saved_ctx)
+        thread.saved_ctx = None
+        if status == "aborted":
+            slot.pending_exc = TransactionAborted("aborted while descheduled")
+        slot.slice_start = clock.now
+        self._running[proc] = slot
+
+    def _retire(self, proc: int, slot: _Slot) -> None:
+        slot.done = True
+        slot.thread.processor = None
+        self._running.pop(proc, None)
+        if self._ready:
+            self._dispatch(proc)
+
+    # ----------------------------------------------------------------- result
+
+    def _result(self, cycle_limit: int) -> RunResult:
+        threads = [slot.thread for slot in self.slots]
+        commits = sum(thread.commits for thread in threads)
+        aborts = sum(thread.aborts for thread in threads)
+        nontx = sum(thread.nontx_items for thread in threads)
+        elapsed = min(self.machine.max_cycle(), cycle_limit)
+        degrees = self.machine.stats.histogram("cst.conflict_degree")
+        return RunResult(
+            cycles=elapsed,
+            commits=commits,
+            aborts=aborts,
+            nontx_items=nontx,
+            per_thread=[
+                {
+                    "thread_id": thread.thread_id,
+                    "commits": thread.commits,
+                    "aborts": thread.aborts,
+                    "nontx_items": thread.nontx_items,
+                }
+                for thread in threads
+            ],
+            stats=self.machine.stats.snapshot(),
+            conflict_degrees=list(degrees._samples),
+        )

@@ -1,0 +1,116 @@
+"""Transactional threads: the retry loop around workload bodies.
+
+A :class:`TxThread` owns one stream of work items produced by a
+workload.  Each *transactional* item is a generator function taking a
+:class:`~repro.runtime.api.TxContext`; the thread wraps it in
+begin/commit and retries on :class:`~repro.errors.TransactionAborted`
+(delivered by the scheduler's AOU poll or raised by the backend).
+*Non-transactional* items run bare — they are how compute-bound
+background work (the Prime workload of Figure 5e/f) and CGL critical
+sections express themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Iterator, Optional, Tuple  # noqa: F401
+
+from repro.errors import TransactionAborted
+from repro.runtime.api import TMBackend, TxContext
+
+
+@dataclasses.dataclass
+class WorkItem:
+    """One unit of thread work.
+
+    Attributes:
+        body: generator function; receives a TxContext when
+            ``transactional`` else an opaque op emitter (the context is
+            still passed for its ``work`` helper, but reads/writes on it
+            would be transactional — non-tx bodies should yield raw
+            ``("load", ...)`` / ``("store", ...)`` / ``("work", n)`` ops).
+        transactional: run under begin/commit with retry when True.
+    """
+
+    body: Callable
+    transactional: bool = True
+
+
+class TxThread:
+    """One simulated thread of execution."""
+
+    def __init__(
+        self,
+        thread_id: int,
+        backend: TMBackend,
+        items: Iterable[WorkItem],
+        yield_on_abort: bool = False,
+        abort_work: Optional[Callable] = None,
+    ):
+        self.thread_id = thread_id
+        self.backend = backend
+        self._items = iter(items)
+        #: Deschedule (yield the CPU) after every abort.
+        self.yield_on_abort = yield_on_abort
+        #: User-level schedule of Figure 5(e)/(f): after every abort the
+        #: thread "yields to compute-intensive work" — a generator
+        #: factory (taking the TxContext) run once per abort, counted as
+        #: a non-transactional item.
+        self.abort_work = abort_work
+        #: Processor currently running this thread (set by scheduler).
+        self.processor: Optional[int] = None
+        #: FlexTM descriptor (created lazily by the backend).
+        self.descriptor = None
+        self.in_transaction = False
+        self.commits = 0
+        self.aborts = 0
+        self.nontx_items = 0
+        #: Saved hardware context while descheduled mid-transaction.
+        self.saved_ctx = None
+
+    def run(self) -> Iterator[Tuple]:
+        """Master generator: the scheduler drives this one op at a time."""
+        ctx = TxContext(self.backend, self)
+        for item in self._items:
+            if not item.transactional:
+                yield from item.body(ctx)
+                self.nontx_items += 1
+                continue
+            yield from self._run_transaction(ctx, item.body)
+
+    def _run_transaction(self, ctx: TxContext, body: Callable) -> Iterator[Tuple]:
+        aborts_in_a_row = 0
+        while True:
+            try:
+                self.in_transaction = True
+                yield from self.backend.begin(self)
+                yield from body(ctx)
+                yield from self.backend.commit(self)
+                self.in_transaction = False
+                self.commits += 1
+                return
+            except TransactionAborted:
+                self.in_transaction = False
+                self.aborts += 1
+                aborts_in_a_row += 1
+                yield from self.backend.on_abort(self)
+                if self.abort_work is not None:
+                    yield from self.abort_work(ctx)
+                    self.nontx_items += 1
+                if self.yield_on_abort:
+                    yield ("yield_cpu",)
+                backoff = self._retry_backoff(aborts_in_a_row)
+                if backoff:
+                    yield ("work", backoff)
+
+    def _retry_backoff(self, aborts_in_a_row: int) -> int:
+        backoff_fn = getattr(self.backend, "retry_backoff", None)
+        if backoff_fn is None:
+            return min(1 << min(aborts_in_a_row, 8), 256)
+        return backoff_fn(aborts_in_a_row)
+
+    def __repr__(self) -> str:
+        return (
+            f"TxThread(id={self.thread_id}, commits={self.commits}, "
+            f"aborts={self.aborts})"
+        )

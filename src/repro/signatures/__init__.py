@@ -1,0 +1,21 @@
+"""Bloom-filter signatures (Section 3.1).
+
+Signatures conservatively summarize a transaction's read/write sets:
+membership tests may return false positives but never false negatives.
+FlexTM keeps them *first-class* — software can read, union, clear and
+test them (Table 4a exposes ``insert``/``member``/``read-hash``/
+``activate``/``clear``).
+"""
+
+from repro.signatures.hashing import BitSelectHash, H3Hash, HashFamily, make_hash_family
+from repro.signatures.bloom import Signature
+from repro.signatures.summary import SummarySignatures
+
+__all__ = [
+    "BitSelectHash",
+    "H3Hash",
+    "HashFamily",
+    "make_hash_family",
+    "Signature",
+    "SummarySignatures",
+]

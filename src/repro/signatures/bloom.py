@@ -1,0 +1,123 @@
+"""The banked Bloom-filter signature register (Rsig / Wsig / Osig).
+
+Matches the paper's hardware: 2048 bits, 4 banks, one hash per bank,
+flash-clearable, and fully software-visible (it can be saved, restored
+and unioned by the OS for context-switch virtualization, Section 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.signatures.hashing import HashFamily, make_hash_family
+
+
+class Signature:
+    """A conservative set-of-addresses summary.
+
+    Address granularity is the caller's business — FlexTM inserts
+    *line* addresses (physical address >> offset bits).
+    """
+
+    def __init__(
+        self,
+        bits: int = 2048,
+        num_hashes: int = 4,
+        family: Optional[HashFamily] = None,
+        seed: int = 0xF1E7,
+    ):
+        if bits < num_hashes:
+            raise ValueError("signature must have at least one bit per bank")
+        self.bits = bits
+        self.num_hashes = num_hashes
+        self._family = family or make_hash_family(bits, num_hashes, seed=seed)
+        self._bank_bits = bits // num_hashes
+        # One int bitmap per bank; Python ints give flash-clear for free.
+        self._banks = [0] * num_hashes
+        self._inserted = 0
+
+    # -- Table 4(a) interface -------------------------------------------------
+
+    def insert(self, address: int) -> None:
+        """``insert [%r], Sig`` — add an address to the signature."""
+        for bank, index in enumerate(self._family.indices(address)):
+            self._banks[bank] |= 1 << index
+        self._inserted += 1
+
+    def member(self, address: int) -> bool:
+        """``member [%r], Sig`` — conservative membership test.
+
+        True for every inserted address; may be true for others
+        (false positives), never false for an inserted one.
+        """
+        for bank, index in enumerate(self._family.indices(address)):
+            if not (self._banks[bank] >> index) & 1:
+                return False
+        return True
+
+    def read_hash(self, address: int) -> int:
+        """``read-hash [%r]`` — concatenated per-bank indices."""
+        value = 0
+        for index in self._family.indices(address):
+            value = (value << self._family.index_bits) | index
+        return value
+
+    def clear(self) -> None:
+        """``clear Sig`` — flash-zero the register."""
+        self._banks = [0] * self.num_hashes
+        self._inserted = 0
+
+    # -- software/OS-level operations -----------------------------------------
+
+    def union(self, other: "Signature") -> None:
+        """OR another signature into this one (summary-signature build)."""
+        if other.bits != self.bits or other.num_hashes != self.num_hashes:
+            raise ValueError("cannot union signatures of different shapes")
+        for bank in range(self.num_hashes):
+            self._banks[bank] |= other._banks[bank]
+        self._inserted += other._inserted
+
+    def intersects(self, other: "Signature") -> bool:
+        """True when the two filters share a set bit in every bank.
+
+        Conservative set-intersection test used when comparing a saved
+        transaction signature against a request signature.
+        """
+        if other.bits != self.bits or other.num_hashes != self.num_hashes:
+            raise ValueError("cannot intersect signatures of different shapes")
+        return all(self._banks[b] & other._banks[b] for b in range(self.num_hashes))
+
+    def insert_all(self, addresses: Iterable[int]) -> None:
+        for address in addresses:
+            self.insert(address)
+
+    def copy(self) -> "Signature":
+        """Snapshot (shares the immutable hash family)."""
+        clone = Signature(self.bits, self.num_hashes, family=self._family)
+        clone._banks = list(self._banks)
+        clone._inserted = self._inserted
+        return clone
+
+    @property
+    def is_empty(self) -> bool:
+        return all(bank == 0 for bank in self._banks)
+
+    @property
+    def popcount(self) -> int:
+        """Number of set bits across all banks."""
+        return sum(bin(bank).count("1") for bank in self._banks)
+
+    @property
+    def inserted_count(self) -> int:
+        """How many inserts have been performed (not distinct addresses)."""
+        return self._inserted
+
+    def occupancy(self) -> float:
+        """Fraction of bits set — a proxy for false-positive pressure."""
+        return self.popcount / self.bits
+
+    def __repr__(self) -> str:
+        return (
+            f"Signature(bits={self.bits}, banks={self.num_hashes}, "
+            f"popcount={self.popcount})"
+        )

@@ -1,0 +1,126 @@
+"""Hash functions for Bloom-filter signatures.
+
+Hardware signature proposals (Bulk, LogTM-SE, and the Sanchez et al.
+study the paper cites) use families of cheap XOR-based hashes.  We
+implement two:
+
+* :class:`BitSelectHash` — selects a fixed slice of address bits; the
+  cheapest option, and the one most prone to aliasing.
+* :class:`H3Hash` — the classic H3 universal family: each output bit is
+  the XOR of a random subset of input bits, realized as an AND with a
+  per-bit mask followed by a parity reduction.
+
+A :class:`HashFamily` bundles ``k`` independent hashes for a ``k``-banked
+signature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sim.rng import DeterministicRng
+
+#: Number of physical-address bits the hash hardware consumes.
+ADDRESS_BITS = 40
+
+
+def _parity(value: int) -> int:
+    """Parity (XOR reduction) of an integer's bits."""
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+class BitSelectHash:
+    """Hash that extracts ``index_bits`` address bits starting at ``shift``."""
+
+    def __init__(self, index_bits: int, shift: int = 0):
+        if index_bits < 1:
+            raise ValueError("index_bits must be >= 1")
+        if shift < 0:
+            raise ValueError("shift must be >= 0")
+        self._mask = (1 << index_bits) - 1
+        self._shift = shift
+        self.index_bits = index_bits
+
+    def __call__(self, address: int) -> int:
+        return (address >> self._shift) & self._mask
+
+
+class H3Hash:
+    """One member of the H3 universal hash family.
+
+    ``masks[i]`` selects the input bits XORed together to produce output
+    bit ``i``.
+    """
+
+    def __init__(self, masks: Sequence[int]):
+        if not masks:
+            raise ValueError("H3Hash needs at least one mask")
+        self._masks = tuple(masks)
+        self.index_bits = len(masks)
+
+    def __call__(self, address: int) -> int:
+        result = 0
+        for bit, mask in enumerate(self._masks):
+            if _parity(address & mask):
+                result |= 1 << bit
+        return result
+
+    @classmethod
+    def random(cls, index_bits: int, rng: DeterministicRng) -> "H3Hash":
+        """Draw a random H3 member over :data:`ADDRESS_BITS` input bits."""
+        masks = [rng.randint(1, (1 << ADDRESS_BITS) - 1) for _ in range(index_bits)]
+        return cls(masks)
+
+
+class HashFamily:
+    """``k`` independent hashes feeding the banks of one signature."""
+
+    def __init__(self, hashes: Sequence):
+        if not hashes:
+            raise ValueError("a hash family needs at least one hash")
+        self._hashes = tuple(hashes)
+
+    def __len__(self) -> int:
+        return len(self._hashes)
+
+    def indices(self, address: int) -> List[int]:
+        """Bank-local bit indices selected by each hash for ``address``."""
+        return [hash_fn(address) for hash_fn in self._hashes]
+
+    @property
+    def index_bits(self) -> int:
+        return self._hashes[0].index_bits
+
+
+def make_hash_family(
+    signature_bits: int,
+    num_hashes: int,
+    seed: int = 0xF1E7,
+    kind: str = "h3",
+) -> HashFamily:
+    """Build the hash family for a banked signature.
+
+    The signature is split into ``num_hashes`` equal banks, so each hash
+    produces ``log2(signature_bits / num_hashes)`` index bits — the
+    4-banked 2048-bit configuration of the paper yields 9 bits per bank.
+    """
+    if signature_bits % num_hashes != 0:
+        raise ValueError("signature_bits must divide evenly into banks")
+    bank_bits = signature_bits // num_hashes
+    index_bits = bank_bits.bit_length() - 1
+    if (1 << index_bits) != bank_bits:
+        raise ValueError("bank size must be a power of two")
+    if kind == "h3":
+        rng = DeterministicRng(seed)
+        return HashFamily([H3Hash.random(index_bits, rng) for _ in range(num_hashes)])
+    if kind == "bit-select":
+        return HashFamily(
+            [BitSelectHash(index_bits, shift=i * index_bits) for i in range(num_hashes)]
+        )
+    raise ValueError(f"unknown hash kind: {kind!r}")

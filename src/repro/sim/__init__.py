@@ -1,0 +1,7 @@
+"""Simulation kernel: deterministic RNG, statistics, cycle accounting."""
+
+from repro.sim.rng import DeterministicRng
+from repro.sim.stats import Counter, Histogram, StatsRegistry
+from repro.sim.clock import CycleClock
+
+__all__ = ["DeterministicRng", "Counter", "Histogram", "StatsRegistry", "CycleClock"]

@@ -1,0 +1,43 @@
+"""Per-processor cycle accounting.
+
+The simulator is timing-driven rather than event-driven: every processor
+owns a :class:`CycleClock`, each operation advances it by the operation's
+latency, and the scheduler always steps the processor whose clock is
+furthest behind.  This yields interleavings consistent with the relative
+speeds of the simulated cores, which is what makes contention pathologies
+(convoying, dueling aborts) reproducible.
+"""
+
+from __future__ import annotations
+
+
+class CycleClock:
+    """Monotonic cycle counter for one processor."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError("clock cannot start negative")
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current cycle count."""
+        return self._now
+
+    def advance(self, cycles: int) -> int:
+        """Move time forward by ``cycles`` (must be non-negative)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance by negative cycles: {cycles}")
+        self._now += cycles
+        return self._now
+
+    def advance_to(self, cycle: int) -> int:
+        """Jump forward to an absolute cycle (no-op if already past it)."""
+        if cycle > self._now:
+            self._now = cycle
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"CycleClock(now={self._now})"

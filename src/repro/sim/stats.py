@@ -1,0 +1,125 @@
+"""Lightweight statistics collection.
+
+Components register named :class:`Counter` and :class:`Histogram`
+instances with a :class:`StatsRegistry`; harnesses snapshot the registry
+to produce the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self._value += amount
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Histogram:
+    """Collects integer samples and reports order statistics."""
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[int] = []
+
+    def record(self, sample: int) -> None:
+        self._samples.append(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> int:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> int:
+        return max(self._samples) if self._samples else 0
+
+    @property
+    def minimum(self) -> int:
+        return min(self._samples) if self._samples else 0
+
+    def percentile(self, fraction: float) -> int:
+        """Nearest-rank percentile; ``fraction`` in [0, 1]."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if not self._samples:
+            return 0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+        return ordered[index]
+
+    @property
+    def median(self) -> int:
+        return self.percentile(0.5)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.2f})"
+
+
+class StatsRegistry:
+    """Namespace of counters and histograms for one simulated machine."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it on first use."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return the histogram called ``name``, creating it on first use."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Iterator[Tuple[str, int]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of all counter values (histograms summarized as counts)."""
+        data = {name: counter.value for name, counter in self._counters.items()}
+        for name, histogram in self._histograms.items():
+            data[f"{name}.count"] = histogram.count
+        return data
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

@@ -1,0 +1,33 @@
+"""Baseline TM systems the paper compares against (Section 7.2).
+
+* :mod:`repro.stm.cgl` — single coarse-grain lock (the normalization
+  baseline of Figures 4 and 5);
+* :mod:`repro.stm.tl2` — TL-2, a blocking word-based STM with a global
+  version clock and commit-time locking;
+* :mod:`repro.stm.rstm` — RSTM configured with invisible readers and
+  self-validation (eager ownership, clone-on-write);
+* :mod:`repro.stm.rtmf` — RTM-F, the hardware-accelerated STM that uses
+  AOU + PDI to eliminate copying and validation but keeps per-access
+  metadata bookkeeping.
+
+All run the same workloads through the same machine substrate; only
+their bookkeeping differs, which is precisely the comparison the paper
+draws.
+"""
+
+from repro.stm.base import LockTable, StmThreadState
+from repro.stm.cgl import CglRuntime
+from repro.stm.tl2 import Tl2Runtime
+from repro.stm.rstm import RstmRuntime
+from repro.stm.rtmf import RtmfRuntime
+from repro.stm.logtmse import LogTmSeRuntime
+
+__all__ = [
+    "LockTable",
+    "StmThreadState",
+    "CglRuntime",
+    "Tl2Runtime",
+    "RstmRuntime",
+    "RtmfRuntime",
+    "LogTmSeRuntime",
+]

@@ -1,0 +1,18 @@
+"""Non-transactional uses of FlexTM hardware (Section 8)."""
+
+from repro.tools.flexwatcher import FlexWatcher, WatchMode, WatchReport
+from repro.tools.bugbench import BugBenchProgram, BUGBENCH, run_program
+from repro.tools.discover import DiscoverInstrumenter
+from repro.tools.racewatcher import RaceReport, RaceWatcher
+
+__all__ = [
+    "FlexWatcher",
+    "WatchMode",
+    "WatchReport",
+    "BugBenchProgram",
+    "BUGBENCH",
+    "run_program",
+    "DiscoverInstrumenter",
+    "RaceWatcher",
+    "RaceReport",
+]

@@ -1,0 +1,164 @@
+"""Synthetic BugBench programs (Section 8, Table 4b).
+
+We do not have the BugBench binaries (bc, gzip, man, squid), so each
+program is a deterministic synthetic access stream with the same bug
+class and a profile chosen to exercise the same cost drivers the paper
+names: "number of mallocs, heap allocated, and frequency of memory
+accesses".  Heavy allocators with hot heaps (bc, man) trap often and
+show the larger FlexWatcher slowdowns; streaming compressors (gzip)
+rarely touch their pads and run nearly full speed; squid's leak
+detector monitors *every* object, so each heap access traps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.sim.rng import DeterministicRng
+from repro.tools.flexwatcher import FlexWatcher, WatchMode, WatchReport
+
+#: Pad bytes added around each allocation in BO mode (one line).
+PAD_BYTES = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class BugBenchProgram:
+    """Profile of one synthetic buggy program."""
+
+    name: str
+    mode: WatchMode
+    #: Number of heap allocations performed up front.
+    mallocs: int
+    #: Bytes per allocation.
+    object_bytes: int
+    #: Total memory accesses in the measured region.
+    accesses: int
+    #: Fraction of accesses that land on/next to watched lines (the
+    #: trap frequency driver).
+    watched_access_fraction: float
+    #: Accesses at which the real bug fires (overflow write into a pad
+    #: / invariant break); None for leak mode.
+    bug_at_access: Optional[int]
+    #: Per-access instrumentation cycles for the Discover baseline
+    #: (instrumentation density differs per binary); None where the
+    #: paper reports N/A.
+    discover_cycles_per_access: Optional[int]
+
+
+BUGBENCH: Dict[str, BugBenchProgram] = {
+    "BC-BO": BugBenchProgram(
+        name="BC-BO",
+        mode=WatchMode.BUFFER_OVERFLOW,
+        mallocs=220,
+        object_bytes=64,
+        accesses=60_000,
+        watched_access_fraction=0.0110,
+        bug_at_access=55_000,
+        discover_cycles_per_access=74,
+    ),
+    "Gzip-BO": BugBenchProgram(
+        name="Gzip-BO",
+        mode=WatchMode.BUFFER_OVERFLOW,
+        mallocs=40,
+        object_bytes=4096,
+        accesses=120_000,
+        watched_access_fraction=0.0030,
+        bug_at_access=110_000,
+        discover_cycles_per_access=16,
+    ),
+    "Gzip-IV": BugBenchProgram(
+        name="Gzip-IV",
+        mode=WatchMode.INVARIANT,
+        mallocs=40,
+        object_bytes=4096,
+        accesses=120_000,
+        watched_access_fraction=0.00030,
+        bug_at_access=100_000,
+        discover_cycles_per_access=None,
+    ),
+    "Man": BugBenchProgram(
+        name="Man",
+        mode=WatchMode.BUFFER_OVERFLOW,
+        mallocs=280,
+        object_bytes=128,
+        accesses=50_000,
+        watched_access_fraction=0.0048,
+        bug_at_access=45_000,
+        discover_cycles_per_access=64,
+    ),
+    "Squid": BugBenchProgram(
+        name="Squid",
+        mode=WatchMode.MEMORY_LEAK,
+        mallocs=150,
+        object_bytes=64,
+        accesses=40_000,
+        watched_access_fraction=0.0075,
+        bug_at_access=None,
+        discover_cycles_per_access=None,
+    ),
+}
+
+
+def run_program(program: BugBenchProgram, seed: int = 7, monitored: bool = True) -> WatchReport:
+    """Execute one synthetic program under (or without) FlexWatcher."""
+    rng = DeterministicRng(seed)
+    watcher = FlexWatcher(program.mode)
+    heap_base = 1 << 20
+    cursor = heap_base
+    watched_targets = []
+    plain_targets = []
+    for _ in range(program.mallocs):
+        object_base = cursor
+        cursor += program.object_bytes
+        if program.mode is not WatchMode.MEMORY_LEAK:
+            plain_targets.append(object_base)
+        if program.mode is WatchMode.BUFFER_OVERFLOW:
+            pad = cursor
+            cursor += PAD_BYTES
+            if monitored:
+                watcher.watch(pad, PAD_BYTES)
+            watched_targets.append(pad)
+        elif program.mode is WatchMode.MEMORY_LEAK:
+            if monitored:
+                watcher.watch(object_base, program.object_bytes)
+            watched_targets.append(object_base)
+    if program.mode is WatchMode.MEMORY_LEAK:
+        # The unmonitored traffic of a leak-hunting run is the program's
+        # stack/global accesses, which live outside the watched heap.
+        stack_base = cursor + (1 << 20)
+        plain_targets = [stack_base + slot * 4096 for slot in range(64)]
+    if program.mode is WatchMode.INVARIANT:
+        invariant_var = cursor
+        cursor += 64
+        if monitored:
+            watcher.watch(invariant_var, 8)
+        watched_targets.append(invariant_var)
+    if monitored:
+        watcher.activate()
+
+    baseline_cycles = 0
+    bugs = 0
+    for index in range(program.accesses):
+        is_bug = program.bug_at_access is not None and index == program.bug_at_access
+        on_watched = is_bug or rng.random() < program.watched_access_fraction
+        if on_watched:
+            target = rng.choice(watched_targets)
+        else:
+            target = rng.choice(plain_targets) + rng.randint(0, max(0, program.object_bytes - 8))
+        is_write = is_bug or rng.random() < 0.3
+        baseline_cycles += 1
+        label = watcher.access(target, is_write)
+        if label is not None:
+            bugs += 1
+    if program.mode is WatchMode.MEMORY_LEAK:
+        bugs = len(watcher.stale_objects(horizon_cycles=watcher.clock.now // 2))
+    return WatchReport(
+        cycles=watcher.clock.now,
+        baseline_cycles=baseline_cycles,
+        accesses=watcher.accesses,
+        alerts=watcher.alerts,
+        true_alerts=watcher.true_alerts,
+        false_alerts=watcher.false_alerts,
+        bugs_detected=bugs,
+    )

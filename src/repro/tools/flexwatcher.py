@@ -1,0 +1,172 @@
+"""FlexWatcher: memory-bug detection with signatures + AOU (Section 8).
+
+FlexTM exposes two watchpoint mechanisms:
+
+* **AOU** — precise, cache-block-granular, limited by L1 capacity;
+* **Signatures** — unbounded but subject to false positives.
+
+With the small interface extension of Table 4(a) (``activate`` makes
+*local* loads and stores test membership in the signature and trap to a
+registered handler on a hit), FlexWatcher implements three detectors:
+
+* **BO** (buffer overflow): pad every heap allocation with 64 bytes and
+  watch the pads for modification;
+* **ML** (memory leak): monitor *every* heap object and update its
+  last-touch timestamp in the access trap;
+* **IV** (invariant violation): ALoad the variable's cache block and
+  assert program invariants in the handler.
+
+On every alert the software handler *disambiguates* — checks whether
+the faulting address is genuinely watched (signatures can alias) —
+before acting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Set
+
+from repro.memory.address import AddressMap
+from repro.sim.clock import CycleClock
+from repro.signatures.bloom import Signature
+
+
+class WatchMode(enum.Enum):
+    BUFFER_OVERFLOW = "BO"
+    MEMORY_LEAK = "ML"
+    INVARIANT = "IV"
+
+
+#: Software handler cost per delivered alert: spill, disambiguate
+#: against the watch list, act, return.
+HANDLER_CYCLES = 100
+#: Extra work when the alert is genuine (record/act on the bug).
+ACTION_CYCLES = 50
+#: Cost of inserting one address into the signature (malloc path).
+INSERT_CYCLES = 4
+
+
+@dataclasses.dataclass
+class WatchReport:
+    """Outcome of a monitored program run."""
+
+    cycles: int
+    baseline_cycles: int
+    accesses: int
+    alerts: int
+    true_alerts: int
+    false_alerts: int
+    bugs_detected: int
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_cycles == 0:
+            return 1.0
+        return self.cycles / self.baseline_cycles
+
+
+class FlexWatcher:
+    """The monitoring tool, driving one core's signature hardware."""
+
+    def __init__(
+        self,
+        mode: WatchMode,
+        signature_bits: int = 2048,
+        num_hashes: int = 4,
+        line_bytes: int = 64,
+    ):
+        self.mode = mode
+        self.amap = AddressMap(line_bytes)
+        # BO watches written pads (Wsig); ML watches all accesses, so it
+        # activates both; IV uses (one-line) AOU precision.
+        self.rsig = Signature(signature_bits, num_hashes)
+        self.wsig = Signature(signature_bits, num_hashes)
+        self.clock = CycleClock()
+        self._watched_lines: Set[int] = set()
+        self._timestamps: Dict[int, int] = {}
+        self.accesses = 0
+        self.alerts = 0
+        self.true_alerts = 0
+        self.bugs_detected = 0
+        self.active = False
+
+    # -- Table 4(a) interface ----------------------------------------------------
+
+    def watch(self, address: int, length: int = 1) -> None:
+        """insert: add [address, address+length) to the watch set."""
+        for line in self.amap.lines_spanning(address, length):
+            self.rsig.insert(line)
+            self.wsig.insert(line)
+            self._watched_lines.add(line)
+            self.clock.advance(INSERT_CYCLES)
+
+    def activate(self) -> None:
+        """Switch on local access monitoring."""
+        self.active = True
+
+    def clear(self) -> None:
+        self.rsig.clear()
+        self.wsig.clear()
+        self._watched_lines.clear()
+        self.active = False
+
+    # -- the monitored program's access path --------------------------------------
+
+    def access(self, address: int, is_write: bool, cost_cycles: int = 1) -> Optional[str]:
+        """One program load/store under monitoring.
+
+        The signature check itself is hardware (free); only alerts cost
+        software cycles.  Returns a detection label when the handler
+        confirms a real bug.
+        """
+        self.accesses += 1
+        self.clock.advance(cost_cycles)
+        if not self.active:
+            return None
+        line = self.amap.line_of(address)
+        if self.mode is WatchMode.BUFFER_OVERFLOW:
+            # Pads are watched *for modification* (Table 4b): only
+            # stores consult the (write) signature.
+            if not is_write or not self.wsig.member(line):
+                return None
+        elif self.mode is WatchMode.INVARIANT:
+            # IV uses AOU: precise cache-block marks, no aliasing.
+            if line not in self._watched_lines:
+                return None
+        else:  # MEMORY_LEAK monitors every touch of a heap object
+            signature = self.wsig if is_write else self.rsig
+            if not signature.member(line):
+                return None
+        # Alert: trap to the handler, which disambiguates.
+        self.alerts += 1
+        self.clock.advance(HANDLER_CYCLES)
+        if line not in self._watched_lines:
+            return None  # signature false positive
+        self.true_alerts += 1
+        self.clock.advance(ACTION_CYCLES)
+        if self.mode is WatchMode.MEMORY_LEAK:
+            self._timestamps[line] = self.clock.now
+            return None  # a touch, not a bug
+        if self.mode is WatchMode.BUFFER_OVERFLOW and is_write:
+            self.bugs_detected += 1
+            return "buffer-overflow"
+        if self.mode is WatchMode.INVARIANT:
+            self.bugs_detected += 1
+            return "invariant-violation"
+        return None
+
+    # -- leak detection wrap-up ----------------------------------------------------
+
+    def stale_objects(self, horizon_cycles: int) -> Set[int]:
+        """ML mode: watched lines not touched within the horizon."""
+        cutoff = self.clock.now - horizon_cycles
+        untouched = set()
+        for line in self._watched_lines:
+            if self._timestamps.get(line, -1) < cutoff:
+                untouched.add(line)
+        return untouched
+
+    @property
+    def false_alerts(self) -> int:
+        return self.alerts - self.true_alerts

@@ -1,0 +1,152 @@
+"""RaceWatcher: data-race detection with signatures and CSTs.
+
+The paper's conclusion sketches applying FlexTM components "to problems
+in security, debugging, and fault tolerance"; FlexWatcher exercised
+signatures + AOU, and Section 8 closes hoping to "exploit other FlexTM
+hardware components (i.e., CST and PDI)".  RaceWatcher is that tool for
+the CSTs: it monitors *non-transactional* multithreaded execution and
+flags unsynchronized cross-thread sharing.
+
+Mechanism: each epoch (delimited by synchronization operations, which
+the program reports through :meth:`sync`), every thread's loads and
+stores update its Rsig/Wsig exactly as TLoads/TStores would.  The
+hardware sets CST bits whenever a coherence request hits a remote
+signature — a local write vs remote read (W-R), write vs write (W-W),
+or read vs remote write (R-W).  A set bit between two epochs with no
+intervening synchronization is precisely a happens-before violation
+candidate: a data race.  Software drains the CSTs at each sync point,
+attributing races to (thread, line) pairs via the signatures.
+
+This is a conservative detector (signature aliasing can manufacture
+candidates), so every report is a *candidate* the handler disambiguates
+against exact per-epoch access logs — the same disambiguation pattern
+FlexWatcher uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Set, Tuple
+
+from repro.core.cst import ConflictSummaryTables
+from repro.memory.address import AddressMap
+from repro.signatures.bloom import Signature
+
+
+@dataclasses.dataclass(frozen=True)
+class RaceReport:
+    """One detected (candidate) race."""
+
+    line_address: int
+    first_thread: int
+    second_thread: int
+    kind: str  # "W-R" | "W-W" | "R-W"
+    confirmed: bool
+
+
+class RaceWatcher:
+    """CST-based race detector over an access stream."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        signature_bits: int = 2048,
+        num_hashes: int = 4,
+        line_bytes: int = 64,
+    ):
+        if num_threads < 2:
+            raise ValueError("race detection needs at least two threads")
+        self.num_threads = num_threads
+        self.amap = AddressMap(line_bytes)
+        self._rsigs = [Signature(signature_bits, num_hashes) for _ in range(num_threads)]
+        self._wsigs = [Signature(signature_bits, num_hashes) for _ in range(num_threads)]
+        self._csts = [ConflictSummaryTables(num_threads) for _ in range(num_threads)]
+        # Exact per-epoch logs for disambiguation (the software side).
+        self._read_lines: List[Set[int]] = [set() for _ in range(num_threads)]
+        self._write_lines: List[Set[int]] = [set() for _ in range(num_threads)]
+        self.reports: List[RaceReport] = []
+        self.false_candidates = 0
+
+    # -- the monitored program's access stream ---------------------------------
+
+    def access(self, thread: int, address: int, is_write: bool) -> None:
+        """One load/store by ``thread``; hardware-side tracking."""
+        self._check_thread(thread)
+        line = self.amap.line_of(address)
+        if is_write:
+            self._wsigs[thread].insert(line)
+            self._write_lines[thread].add(line)
+        else:
+            self._rsigs[thread].insert(line)
+            self._read_lines[thread].add(line)
+        # Coherence: the access 'pings' every other thread's signatures,
+        # setting CSTs exactly as Threatened/Exposed-Read responses do.
+        for other in range(self.num_threads):
+            if other == thread:
+                continue
+            if self._wsigs[other].member(line):
+                if is_write:
+                    self._csts[other].w_w.set(thread)
+                    self._csts[thread].w_w.set(other)
+                else:
+                    self._csts[other].w_r.set(thread)
+                    self._csts[thread].r_w.set(other)
+            elif is_write and self._rsigs[other].member(line):
+                self._csts[other].r_w.set(thread)
+                self._csts[thread].w_r.set(other)
+
+    # -- synchronization boundaries ----------------------------------------------
+
+    def sync(self, thread: int) -> List[RaceReport]:
+        """A synchronization op by ``thread``: drain and classify.
+
+        Anything the CSTs accumulated against this thread since its
+        last sync is a candidate race; the handler disambiguates each
+        against the exact logs, then the thread's epoch state resets.
+        """
+        self._check_thread(thread)
+        new_reports: List[RaceReport] = []
+        tables = self._csts[thread]
+        for register, kind in ((tables.w_r, "W-R"), (tables.w_w, "W-W"), (tables.r_w, "R-W")):
+            for other in list(register.processors()):
+                new_reports.extend(self._disambiguate(thread, other, kind))
+        tables.clear()
+        self._rsigs[thread].clear()
+        self._wsigs[thread].clear()
+        self._read_lines[thread].clear()
+        self._write_lines[thread].clear()
+        self.reports.extend(new_reports)
+        return new_reports
+
+    def _disambiguate(self, thread: int, other: int, kind: str) -> List[RaceReport]:
+        if kind == "W-R":
+            mine, theirs = self._write_lines[thread], self._read_lines[other]
+        elif kind == "W-W":
+            mine, theirs = self._write_lines[thread], self._write_lines[other]
+        else:  # R-W
+            mine, theirs = self._read_lines[thread], self._write_lines[other]
+        overlap = mine & theirs
+        if not overlap:
+            self.false_candidates += 1
+            return []
+        return [
+            RaceReport(
+                line_address=line,
+                first_thread=thread,
+                second_thread=other,
+                kind=kind,
+                confirmed=True,
+            )
+            for line in sorted(overlap)
+        ]
+
+    def racy_pairs(self) -> Set[Tuple[int, int]]:
+        """Unordered thread pairs with at least one confirmed race."""
+        return {
+            (min(r.first_thread, r.second_thread), max(r.first_thread, r.second_thread))
+            for r in self.reports
+        }
+
+    def _check_thread(self, thread: int) -> None:
+        if not 0 <= thread < self.num_threads:
+            raise ValueError(f"thread {thread} out of range")

@@ -1,0 +1,50 @@
+"""The benchmark workloads of Table 3(b).
+
+Workload-Set 1 (WS1): HashTable, RBTree, LFUCache, RandomGraph,
+Delaunay.  Workload-Set 2 (WS2): Vacation (low/high contention).
+Prime is the compute-bound background application of Figure 5(e)/(f).
+
+Every workload builds its shared data structure in simulated memory and
+expresses transactions as generator functions over the portable
+:class:`~repro.runtime.api.TxContext`, so the identical code runs on
+FlexTM, RTM-F, RSTM, TL-2 and CGL.
+"""
+
+from repro.workloads.base import Workload, word_address
+from repro.workloads.zipf import ZipfSampler
+from repro.workloads.hashtable import HashTableWorkload
+from repro.workloads.rbtree import RedBlackTree, RBTreeWorkload
+from repro.workloads.lfucache import LFUCacheWorkload
+from repro.workloads.randomgraph import RandomGraphWorkload
+from repro.workloads.delaunay import DelaunayWorkload
+from repro.workloads.vacation import VacationWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.prime import PrimeWorkload
+
+WORKLOADS = {
+    "HashTable": HashTableWorkload,
+    "RBTree": RBTreeWorkload,
+    "LFUCache": LFUCacheWorkload,
+    "RandomGraph": RandomGraphWorkload,
+    "Delaunay": DelaunayWorkload,
+    "Vacation-Low": lambda machine, seed=0: VacationWorkload(machine, seed=seed, contention="low"),
+    "Vacation-High": lambda machine, seed=0: VacationWorkload(machine, seed=seed, contention="high"),
+    # Extension beyond Table 3(b): STAMP-style clustering.
+    "KMeans": KMeansWorkload,
+}
+
+__all__ = [
+    "Workload",
+    "word_address",
+    "ZipfSampler",
+    "HashTableWorkload",
+    "RedBlackTree",
+    "RBTreeWorkload",
+    "LFUCacheWorkload",
+    "RandomGraphWorkload",
+    "DelaunayWorkload",
+    "VacationWorkload",
+    "KMeansWorkload",
+    "PrimeWorkload",
+    "WORKLOADS",
+]

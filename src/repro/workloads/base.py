@@ -1,0 +1,58 @@
+"""Workload infrastructure.
+
+A :class:`Workload` owns shared state in simulated memory and mints an
+infinite stream of :class:`~repro.runtime.txthread.WorkItem` objects per
+thread.  Runs are time-bounded (the scheduler stops at a cycle budget),
+which is how throughput — committed transactions per million cycles —
+is measured even for configurations that livelock.
+
+Setup ("warm-up") happens through direct memory-image writes, mirroring
+the paper's untimed single-thread warm-up phase.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.machine import FlexTMMachine, WORD_BYTES
+from repro.runtime.txthread import WorkItem
+from repro.sim.rng import DeterministicRng
+
+
+def word_address(base: int, index: int) -> int:
+    """Address of the ``index``-th word of a record at ``base``."""
+    return base + index * WORD_BYTES
+
+
+class Workload:
+    """Base class for all benchmarks."""
+
+    name = "abstract"
+
+    def __init__(self, machine: FlexTMMachine, seed: int = 0):
+        self.machine = machine
+        self.seed = seed
+        self.rng = DeterministicRng(seed)
+        self._setup()
+
+    def _setup(self) -> None:
+        """Allocate and warm the shared structure (untimed)."""
+        raise NotImplementedError
+
+    def items(self, thread_id: int) -> Iterator[WorkItem]:
+        """Infinite stream of work items for one thread."""
+        raise NotImplementedError
+
+    # -- untimed helpers over the functional memory image ----------------------
+
+    def _poke(self, address: int, value: int) -> None:
+        self.machine.memory.write(address, value)
+        self.machine.directory.warm_line(self.machine.amap.line_of(address))
+
+    def _peek(self, address: int) -> int:
+        return self.machine.memory.read(address)
+
+    def _alloc_record(self, nwords: int) -> int:
+        """Line-aligned record allocation (objects get their own lines)."""
+        nbytes = max(nwords * WORD_BYTES, self.machine.params.line_bytes)
+        return self.machine.allocate(nbytes, line_aligned=True)

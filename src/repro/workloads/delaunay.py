@@ -1,0 +1,87 @@
+"""Delaunay (WS1): triangulation with transactional seam stitching.
+
+The original benchmark (Scott et al., IISWC'07) sorts points into
+geometric regions, triangulates regions with *sequential* solvers in
+parallel, then uses transactions only to stitch the seams — under 5% of
+execution time is transactional, and the program is memory-bandwidth
+bound.  The paper uses it to show FlexTM tracking CGL closely while the
+STMs lose 2x to metadata-induced cache misses.
+
+Our synthetic equivalent preserves exactly that profile: long
+non-transactional solver phases that stream over private point arrays
+(real cache traffic + compute cycles), punctuated by short transactions
+that splice triangles into a shared seam list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.machine import WORD_BYTES
+from repro.runtime.txthread import WorkItem
+from repro.workloads.base import Workload, word_address
+
+#: Points triangulated per region (drives the solver phase length).
+REGION_POINTS = 64
+#: Compute cycles per point in the sequential solver.
+SOLVE_CYCLES_PER_POINT = 30
+#: Shared seam segments (padded, one per line).
+SEAM_SEGMENTS = 64
+
+
+class DelaunayWorkload(Workload):
+    """Data-parallel triangulation with transactional stitching."""
+
+    name = "Delaunay"
+
+    def _setup(self) -> None:
+        machine = self.machine
+        line = machine.params.line_bytes
+        # Shared seam: per-segment triangle counters, padded.
+        self.seam_base = machine.allocate(SEAM_SEGMENTS * line, line_aligned=True)
+        # Per-thread private point arrays, allocated lazily.
+        self._private_regions = {}
+
+    def _region_for(self, thread_id: int) -> int:
+        if thread_id not in self._private_regions:
+            self._private_regions[thread_id] = self.machine.allocate_words(
+                REGION_POINTS, line_aligned=True
+            )
+        return self._private_regions[thread_id]
+
+    # ---------------------------------------------------------------- phases
+
+    def solve_region(self, ctx, thread_id: int):
+        """Non-transactional: stream over the private region and compute."""
+        base = self._region_for(thread_id)
+        for point in range(REGION_POINTS):
+            result = yield ("load", base + point * WORD_BYTES)
+            yield ("store", base + point * WORD_BYTES, (result.value + point) & 0xFFFF)
+            yield ("work", SOLVE_CYCLES_PER_POINT)
+
+    def stitch_seam(self, ctx, segment: int, triangles: int):
+        """Transactional: splice this region's boundary triangles in."""
+        address = word_address(self.seam_base, 0) + segment * self.machine.params.line_bytes
+        count = yield from ctx.read(address)
+        yield from ctx.work(15)
+        yield from ctx.write(address, count + triangles)
+        neighbor = (segment + 1) % SEAM_SEGMENTS
+        neighbor_address = (
+            word_address(self.seam_base, 0) + neighbor * self.machine.params.line_bytes
+        )
+        neighbor_count = yield from ctx.read(neighbor_address)
+        yield from ctx.write(neighbor_address, neighbor_count + 1)
+
+    # ----------------------------------------------------------------- stream
+
+    def items(self, thread_id: int) -> Iterator[WorkItem]:
+        rng = self.rng.fork(thread_id)
+        while True:
+            yield WorkItem(
+                lambda ctx, tid=thread_id: self.solve_region(ctx, tid), transactional=False
+            )
+            segment = rng.randint(0, SEAM_SEGMENTS - 1)
+            triangles = rng.randint(1, 5)
+            yield WorkItem(
+                lambda ctx, s=segment, t=triangles: self.stitch_seam(ctx, s, t)
+            )

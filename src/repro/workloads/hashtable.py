@@ -1,0 +1,110 @@
+"""HashTable (WS1): 256 buckets with overflow chains, keys 0..255.
+
+Transactions look up, insert, or delete a uniformly random value with
+equal probability.  Conflicts are rare (different buckets live on
+different lines), so the workload scales nearly linearly — the paper's
+"embarrassingly concurrent" case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.txthread import WorkItem
+from repro.workloads.base import Workload, word_address
+
+NUM_BUCKETS = 256
+KEY_RANGE = 256
+
+# Chain-node field offsets (words).
+NODE_KEY = 0
+NODE_VALUE = 1
+NODE_NEXT = 2
+NODE_WORDS = 3
+
+
+class HashTableWorkload(Workload):
+    """Chained hash table over simulated memory."""
+
+    name = "HashTable"
+
+    def _setup(self) -> None:
+        # One bucket head per cache line (a padded, scalable layout).
+        line = self.machine.params.line_bytes
+        self.bucket_base = self.machine.allocate(NUM_BUCKETS * line, line_aligned=True)
+        # Warm up: insert half the key range untimed.
+        for key in range(0, KEY_RANGE, 2):
+            node = self._alloc_record(NODE_WORDS)
+            head = self._bucket_address(key)
+            self._poke(word_address(node, NODE_KEY), key)
+            self._poke(word_address(node, NODE_VALUE), key * 10)
+            self._poke(word_address(node, NODE_NEXT), self._peek(head))
+            self._poke(head, node)
+
+    def _bucket_address(self, key: int) -> int:
+        return self.bucket_base + (key % NUM_BUCKETS) * self.machine.params.line_bytes
+
+    # ------------------------------------------------------------ transactions
+
+    def lookup(self, ctx, key: int):
+        head = self._bucket_address(key)
+        node = yield from ctx.read(head)
+        while node:
+            node_key = yield from ctx.read(word_address(node, NODE_KEY))
+            if node_key == key:
+                value = yield from ctx.read(word_address(node, NODE_VALUE))
+                return value
+            node = yield from ctx.read(word_address(node, NODE_NEXT))
+        return None
+
+    def insert(self, ctx, key: int, value: int):
+        head = self._bucket_address(key)
+        node = yield from ctx.read(head)
+        while node:
+            node_key = yield from ctx.read(word_address(node, NODE_KEY))
+            if node_key == key:
+                yield from ctx.write(word_address(node, NODE_VALUE), value)
+                return False
+            node = yield from ctx.read(word_address(node, NODE_NEXT))
+        fresh = self._alloc_record(NODE_WORDS)
+        old_head = yield from ctx.read(head)
+        yield from ctx.write(word_address(fresh, NODE_KEY), key)
+        yield from ctx.write(word_address(fresh, NODE_VALUE), value)
+        yield from ctx.write(word_address(fresh, NODE_NEXT), old_head)
+        yield from ctx.write(head, fresh)
+        return True
+
+    def delete(self, ctx, key: int):
+        head = self._bucket_address(key)
+        previous = 0
+        node = yield from ctx.read(head)
+        while node:
+            node_key = yield from ctx.read(word_address(node, NODE_KEY))
+            if node_key == key:
+                successor = yield from ctx.read(word_address(node, NODE_NEXT))
+                if previous:
+                    yield from ctx.write(word_address(previous, NODE_NEXT), successor)
+                else:
+                    yield from ctx.write(head, successor)
+                return True
+            previous = node
+            node = yield from ctx.read(word_address(node, NODE_NEXT))
+        return False
+
+    # ----------------------------------------------------------------- stream
+
+    def items(self, thread_id: int) -> Iterator[WorkItem]:
+        rng = self.rng.fork(thread_id)
+
+        def make_body():
+            key = rng.randint(0, KEY_RANGE - 1)
+            operation = rng.randint(0, 2)
+            if operation == 0:
+                return lambda ctx: self.lookup(ctx, key)
+            if operation == 1:
+                value = rng.randint(0, 1 << 20)
+                return lambda ctx: self.insert(ctx, key, value)
+            return lambda ctx: self.delete(ctx, key)
+
+        while True:
+            yield WorkItem(make_body())

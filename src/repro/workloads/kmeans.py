@@ -1,0 +1,112 @@
+"""KMeans — a STAMP-style clustering workload (extension).
+
+Not part of the paper's Table 3(b), but from the same benchmark suite
+as Vacation and a common TM evaluation point: threads stream over
+private points and transactionally fold each into its nearest shared
+centroid (member count + coordinate sums).  Conflict level is set by
+``num_clusters`` — few clusters means hot centroids (Vacation-High-like
+contention), many clusters means near-perfect scaling.
+
+Distance computation happens outside the transaction (it reads only
+private data); only the centroid update is atomic — the standard
+TM-parallel kmeans decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.runtime.txthread import WorkItem
+from repro.workloads.base import Workload, word_address
+
+#: Dimensionality of the synthetic points.
+DIMENSIONS = 2
+#: Coordinate scale (fixed-point integers).
+COORD_RANGE = 1024
+
+# Centroid-record fields (words): count, sum_x, sum_y.
+C_COUNT = 0
+C_SUM0 = 1
+C_WORDS = 1 + DIMENSIONS
+
+
+class KMeansWorkload(Workload):
+    """Transactional centroid accumulation."""
+
+    name = "KMeans"
+
+    def __init__(self, machine, seed: int = 0, num_clusters: int = 16):
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        self.num_clusters = num_clusters
+        super().__init__(machine, seed)
+
+    def _setup(self) -> None:
+        line = self.machine.params.line_bytes
+        self.centroid_base = self.machine.allocate(
+            self.num_clusters * line, line_aligned=True
+        )
+        self.machine.warm_region(self.centroid_base, self.num_clusters * line)
+        # Fixed initial centroid positions, spread over the space.
+        warm_rng = self.rng.fork(0x3EA)
+        self.centers: List[Tuple[int, ...]] = [
+            tuple(warm_rng.randint(0, COORD_RANGE - 1) for _ in range(DIMENSIONS))
+            for _ in range(self.num_clusters)
+        ]
+
+    def _centroid_address(self, cluster: int, field: int) -> int:
+        return (
+            self.centroid_base
+            + cluster * self.machine.params.line_bytes
+            + field * 8
+        )
+
+    def nearest_cluster(self, point: Tuple[int, ...]) -> int:
+        """Private-phase computation: index of the closest centroid."""
+        best, best_distance = 0, None
+        for index, center in enumerate(self.centers):
+            distance = sum((a - b) ** 2 for a, b in zip(point, center))
+            if best_distance is None or distance < best_distance:
+                best, best_distance = index, distance
+        return best
+
+    def assign_point(self, ctx, cluster: int, point: Tuple[int, ...]):
+        """Transaction: fold one point into its centroid's accumulators."""
+        count_address = self._centroid_address(cluster, C_COUNT)
+        count = yield from ctx.read(count_address)
+        yield from ctx.write(count_address, count + 1)
+        for dimension in range(DIMENSIONS):
+            sum_address = self._centroid_address(cluster, C_SUM0 + dimension)
+            total = yield from ctx.read(sum_address)
+            yield from ctx.write(sum_address, total + point[dimension])
+
+    # ----------------------------------------------------------------- stream
+
+    def items(self, thread_id: int) -> Iterator[WorkItem]:
+        rng = self.rng.fork(thread_id)
+        while True:
+            point = tuple(rng.randint(0, COORD_RANGE - 1) for _ in range(DIMENSIONS))
+            cluster = self.nearest_cluster(point)
+            # The distance scan is non-transactional compute.
+            def body(ctx, c=cluster, p=point, k=self.num_clusters):
+                yield from ctx.work(6 * k)  # distance evaluation cost
+                yield from self.assign_point(ctx, c, p)
+
+            yield WorkItem(body)
+
+    # --------------------------------------------------------------- analysis
+
+    def totals(self) -> Tuple[int, List[Tuple[int, ...]]]:
+        """(points assigned, per-cluster coordinate sums) — untimed."""
+        assigned = 0
+        sums = []
+        for cluster in range(self.num_clusters):
+            count = self._peek(self._centroid_address(cluster, C_COUNT))
+            assigned += count
+            sums.append(
+                tuple(
+                    self._peek(self._centroid_address(cluster, C_SUM0 + d))
+                    for d in range(DIMENSIONS)
+                )
+            )
+        return assigned, sums

@@ -1,0 +1,117 @@
+"""LFUCache (WS1): web-cache simulation with a Zipf page stream.
+
+A 2048-entry array maps pages to frequency counts; a small (255-entry)
+priority heap tracks the most frequently accessed pages.  Because page
+popularity is Zipf-distributed, nearly every transaction touches the
+same few hot heap slots — the workload admits essentially no
+concurrency, and eager conflict management produces cascades of futile
+stalls (Section 7.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.txthread import WorkItem
+from repro.workloads.base import Workload, word_address
+from repro.workloads.zipf import ZipfSampler
+
+NUM_PAGES = 2048
+HEAP_ENTRIES = 255
+
+
+class LFUCacheWorkload(Workload):
+    """Frequency-tracking cache with a shared priority heap."""
+
+    name = "LFUCache"
+
+    def _setup(self) -> None:
+        machine = self.machine
+        # Queue bookkeeping word (entry count / epoch) updated by every
+        # access, as in the original benchmark's priority-queue
+        # maintenance; with the Zipf stream this is what leaves the
+        # workload with essentially no exploitable concurrency.
+        self.epoch_address = machine.allocate(machine.params.line_bytes, line_aligned=True)
+        # freq[page]: large array index (word per page).
+        self.freq_base = machine.allocate_words(NUM_PAGES, line_aligned=True)
+        # heap[i] = page id occupying slot i (0 = empty); heap is a
+        # binary min-heap on frequency kept small and hot.
+        self.heap_base = machine.allocate_words(HEAP_ENTRIES, line_aligned=True)
+        # heap_index[page] = slot + 1 (0 = not in heap).
+        self.slot_base = machine.allocate_words(NUM_PAGES, line_aligned=True)
+        self.zipf = ZipfSampler(NUM_PAGES)
+        # Warm the heap with the hottest pages.
+        for slot in range(HEAP_ENTRIES):
+            page = slot  # ranks 0..254 are the Zipf head
+            self._poke(word_address(self.heap_base, slot), page + 1)
+            self._poke(word_address(self.slot_base, page), slot + 1)
+            self._poke(word_address(self.freq_base, page), 1)
+
+    # ------------------------------------------------------------ transactions
+
+    def access_page(self, ctx, page: int):
+        """One page hit: bump its frequency and fix the heap."""
+        epoch = yield from ctx.read(self.epoch_address)
+        yield from ctx.write(self.epoch_address, epoch + 1)
+        yield from ctx.work(30)  # page-id hashing + queue bookkeeping
+        freq_address = word_address(self.freq_base, page)
+        frequency = yield from ctx.read(freq_address)
+        frequency += 1
+        yield from ctx.write(freq_address, frequency)
+        slot_word = yield from ctx.read(word_address(self.slot_base, page))
+        if slot_word:
+            yield from self._sift_down(ctx, slot_word - 1, page, frequency)
+        else:
+            yield from self._maybe_replace_root(ctx, page, frequency)
+
+    def _sift_down(self, ctx, slot: int, page: int, frequency: int):
+        """Restore heap order after a frequency increase.
+
+        The heap is a min-heap on frequency, so a hotter page sinks
+        toward the leaves; the walk reads/writes the hot top slots.
+        """
+        while True:
+            left, right = 2 * slot + 1, 2 * slot + 2
+            best, best_freq = slot, frequency
+            for child in (left, right):
+                if child >= HEAP_ENTRIES:
+                    continue
+                child_page = yield from ctx.read(word_address(self.heap_base, child))
+                if not child_page:
+                    continue
+                child_freq = yield from ctx.read(
+                    word_address(self.freq_base, child_page - 1)
+                )
+                if child_freq < best_freq:
+                    best, best_freq = child, child_freq
+            if best == slot:
+                return
+            other_page = yield from ctx.read(word_address(self.heap_base, best))
+            yield from ctx.write(word_address(self.heap_base, slot), other_page)
+            yield from ctx.write(word_address(self.slot_base, other_page - 1), slot + 1)
+            yield from ctx.write(word_address(self.heap_base, best), page + 1)
+            yield from ctx.write(word_address(self.slot_base, page), best + 1)
+            slot = best
+
+    def _maybe_replace_root(self, ctx, page: int, frequency: int):
+        """A page outside the heap evicts the root when it is hotter."""
+        root_page = yield from ctx.read(word_address(self.heap_base, 0))
+        if not root_page:
+            yield from ctx.write(word_address(self.heap_base, 0), page + 1)
+            yield from ctx.write(word_address(self.slot_base, page), 1)
+            return
+        root_freq = yield from ctx.read(word_address(self.freq_base, root_page - 1))
+        if frequency <= root_freq:
+            return
+        yield from ctx.write(word_address(self.slot_base, root_page - 1), 0)
+        yield from ctx.write(word_address(self.heap_base, 0), page + 1)
+        yield from ctx.write(word_address(self.slot_base, page), 1)
+        yield from self._sift_down(ctx, 0, page, frequency)
+
+    # ----------------------------------------------------------------- stream
+
+    def items(self, thread_id: int) -> Iterator[WorkItem]:
+        rng = self.rng.fork(thread_id)
+        while True:
+            page = self.zipf.sample(rng)
+            yield WorkItem(lambda ctx, page=page: self.access_page(ctx, page))

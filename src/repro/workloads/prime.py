@@ -1,0 +1,84 @@
+"""Prime factorization — the compute-bound background application.
+
+Used in Figure 5(e)/(f): Prime threads share the machine with a
+non-scalable transactional workload; how fast the transactional side
+frees cores (eager detects doomed transactions early; lazy lets them
+run on) determines how well Prime scales.
+
+Factorization is modeled faithfully enough to cost what it costs:
+trial division charges one compute cycle per divisor probe plus
+occasional private-table loads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.machine import WORD_BYTES
+from repro.runtime.txthread import WorkItem
+from repro.workloads.base import Workload
+
+#: Cycle cost per trial-division probe.
+PROBE_CYCLES = 4
+#: Numbers drawn from this range keep item lengths comparable.
+NUMBER_RANGE = (100_000, 1_000_000)
+
+
+class PrimeWorkload(Workload):
+    """Non-transactional trial-division factorization."""
+
+    name = "Prime"
+
+    def _setup(self) -> None:
+        # A small private scratch table per thread (allocated lazily),
+        # so the work has a realistic (cache-friendly) memory footprint.
+        self._scratch = {}
+
+    def _scratch_for(self, thread_id: int) -> int:
+        if thread_id not in self._scratch:
+            self._scratch[thread_id] = self.machine.allocate_words(64, line_aligned=True)
+        return self._scratch[thread_id]
+
+    def factorize(self, ctx, thread_id: int, number: int):
+        """Non-transactional body: factor ``number`` by trial division."""
+        base = self._scratch_for(thread_id)
+        remaining = number
+        divisor = 2
+        probes = 0
+        factors = 0
+        while divisor * divisor <= remaining:
+            probes += 1
+            if probes % 32 == 0:
+                # Periodic private-table touch (precomputed primes).
+                yield ("load", base + (probes // 32 % 64) * WORD_BYTES)
+            yield ("work", PROBE_CYCLES)
+            if remaining % divisor == 0:
+                remaining //= divisor
+                factors += 1
+                yield ("store", base + (factors % 64) * WORD_BYTES, divisor)
+            else:
+                divisor += 1
+        return factors + (1 if remaining > 1 else 0)
+
+    def items(self, thread_id: int) -> Iterator[WorkItem]:
+        rng = self.rng.fork(thread_id)
+        while True:
+            number = rng.randint(*NUMBER_RANGE)
+            yield WorkItem(
+                lambda ctx, tid=thread_id, n=number: self.factorize(ctx, tid, n),
+                transactional=False,
+            )
+
+    def abort_work(self, thread_id: int):
+        """Generator factory for TxThread.abort_work (Figure 5e/f).
+
+        Each invocation factors one fresh number on the aborting
+        thread, modelling 'yield to compute-intensive work'.
+        """
+        rng = self.rng.fork(0x9000 + thread_id)
+
+        def run_one(ctx):
+            number = rng.randint(*NUMBER_RANGE)
+            yield from self.factorize(ctx, thread_id, number)
+
+        return run_one

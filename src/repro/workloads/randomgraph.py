@@ -1,0 +1,174 @@
+"""RandomGraph (WS1): adjacency-list graph with vertex insert/delete.
+
+Transactions insert or delete vertices (50% each); a new vertex gets up
+to four randomly chosen neighbours.  The graph is represented the way
+the original RSTM benchmark represents it: a global *linked list* of
+vertex records, each carrying its own adjacency list.  Every operation
+therefore begins with a linear search of the vertex list — the source
+of the paper's ~80 cache lines read per transaction — and every
+insert/delete writes list linkage that other searches are reading.
+Conflicts are many and scattered; eager conflict management livelocks
+at high thread counts (FriendlyFire, FutileStall, DuellingUpgrade),
+while lazy management stays flat (Section 7.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.runtime.txthread import WorkItem
+from repro.workloads.base import Workload, word_address
+
+#: Vertex ids are drawn from this range; steady state holds about half.
+KEY_RANGE = 48
+
+# Vertex-record fields (words).
+V_ID = 0
+V_NEXT = 1  # next vertex in the global list
+V_ADJ = 2  # adjacency list head
+V_WORDS = 3
+
+# Edge-node fields.
+E_TARGET = 0  # neighbour's vertex-record address
+E_NEXT = 1
+E_WORDS = 2
+
+MAX_NEIGHBORS = 4
+
+
+class RandomGraphWorkload(Workload):
+    """Undirected graph: linked vertex list + per-vertex edge lists."""
+
+    name = "RandomGraph"
+
+    def _setup(self) -> None:
+        # Head pointer of the global vertex list.
+        self.head_address = self.machine.allocate(
+            self.machine.params.line_bytes, line_aligned=True
+        )
+        warm_rng = self.rng.fork(0xABCD)
+        # Seed half the id range, then a few random edges.
+        records = {}
+        for vertex_id in range(0, KEY_RANGE, 2):
+            records[vertex_id] = self._seed_vertex(vertex_id)
+        seeded = set()
+        ids = sorted(records)
+        for vertex_id in ids:
+            for _ in range(2):
+                other = warm_rng.choice(ids)
+                pair = (min(vertex_id, other), max(vertex_id, other))
+                if other != vertex_id and pair not in seeded:
+                    seeded.add(pair)
+                    self._seed_edge(records[vertex_id], records[other])
+                    self._seed_edge(records[other], records[vertex_id])
+
+    def _seed_vertex(self, vertex_id: int) -> int:
+        record = self._alloc_record(V_WORDS)
+        self._poke(word_address(record, V_ID), vertex_id)
+        self._poke(word_address(record, V_NEXT), self._peek(self.head_address))
+        self._poke(self.head_address, record)
+        return record
+
+    def _seed_edge(self, source: int, target: int) -> None:
+        edge = self._alloc_record(E_WORDS)
+        self._poke(word_address(edge, E_TARGET), target)
+        self._poke(word_address(edge, E_NEXT), self._peek(word_address(source, V_ADJ)))
+        self._poke(word_address(source, V_ADJ), edge)
+
+    # ------------------------------------------------------------ transactions
+
+    def _find(self, ctx, vertex_id: int):
+        """Walk the global vertex list; returns (record, predecessor)."""
+        previous = 0
+        record = yield from ctx.read(self.head_address)
+        while record:
+            record_id = yield from ctx.read(word_address(record, V_ID))
+            if record_id == vertex_id:
+                return record, previous
+            previous = record
+            record = yield from ctx.read(word_address(record, V_NEXT))
+        return 0, previous
+
+    def insert_vertex(self, ctx, vertex_id: int, neighbor_ids):
+        record, _ = yield from self._find(ctx, vertex_id)
+        if record:
+            return False
+        fresh = self._alloc_record(V_WORDS)
+        old_head = yield from ctx.read(self.head_address)
+        yield from ctx.write(word_address(fresh, V_ID), vertex_id)
+        yield from ctx.write(word_address(fresh, V_NEXT), old_head)
+        yield from ctx.write(word_address(fresh, V_ADJ), 0)
+        yield from ctx.write(self.head_address, fresh)
+        for neighbor_id in neighbor_ids:
+            if neighbor_id == vertex_id:
+                continue
+            neighbor, _ = yield from self._find(ctx, neighbor_id)
+            if not neighbor:
+                continue
+            yield from self._add_edge(ctx, fresh, neighbor)
+            yield from self._add_edge(ctx, neighbor, fresh)
+        return True
+
+    def delete_vertex(self, ctx, vertex_id: int):
+        record, previous = yield from self._find(ctx, vertex_id)
+        if not record:
+            return False
+        # Remove the back-edge at every neighbour (scattered reads).
+        edge = yield from ctx.read(word_address(record, V_ADJ))
+        while edge:
+            target = yield from ctx.read(word_address(edge, E_TARGET))
+            yield from self._remove_edge(ctx, target, record)
+            edge = yield from ctx.read(word_address(edge, E_NEXT))
+        successor = yield from ctx.read(word_address(record, V_NEXT))
+        if previous:
+            yield from ctx.write(word_address(previous, V_NEXT), successor)
+        else:
+            yield from ctx.write(self.head_address, successor)
+        return True
+
+    def _add_edge(self, ctx, source: int, target: int):
+        """Append an edge after a duplicate scan (reads)."""
+        adj_address = word_address(source, V_ADJ)
+        edge = yield from ctx.read(adj_address)
+        while edge:
+            existing = yield from ctx.read(word_address(edge, E_TARGET))
+            if existing == target:
+                return
+            edge = yield from ctx.read(word_address(edge, E_NEXT))
+        fresh = self._alloc_record(E_WORDS)
+        old_head = yield from ctx.read(adj_address)
+        yield from ctx.write(word_address(fresh, E_TARGET), target)
+        yield from ctx.write(word_address(fresh, E_NEXT), old_head)
+        yield from ctx.write(adj_address, fresh)
+
+    def _remove_edge(self, ctx, source: int, target: int):
+        adj_address = word_address(source, V_ADJ)
+        previous = 0
+        edge = yield from ctx.read(adj_address)
+        while edge:
+            existing = yield from ctx.read(word_address(edge, E_TARGET))
+            successor = yield from ctx.read(word_address(edge, E_NEXT))
+            if existing == target:
+                if previous:
+                    yield from ctx.write(word_address(previous, E_NEXT), successor)
+                else:
+                    yield from ctx.write(adj_address, successor)
+                return
+            previous = edge
+            edge = successor
+
+    # ----------------------------------------------------------------- stream
+
+    def items(self, thread_id: int) -> Iterator[WorkItem]:
+        rng = self.rng.fork(thread_id)
+        while True:
+            vertex_id = rng.randint(0, KEY_RANGE - 1)
+            if rng.randint(0, 1):
+                neighbors = tuple(
+                    rng.randint(0, KEY_RANGE - 1) for _ in range(MAX_NEIGHBORS)
+                )
+                yield WorkItem(
+                    lambda ctx, v=vertex_id, ns=neighbors: self.insert_vertex(ctx, v, ns)
+                )
+            else:
+                yield WorkItem(lambda ctx, v=vertex_id: self.delete_vertex(ctx, v))

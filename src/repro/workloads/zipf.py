@@ -1,0 +1,40 @@
+"""Zipf-distributed page selection for LFUCache.
+
+The paper draws pages with ``p(i)`` proportional to ``sum_{0<j<=i} j^-2``
+(a heavily skewed distribution concentrating accesses on a handful of
+hot pages — the source of LFUCache's total lack of concurrency).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+from repro.sim.rng import DeterministicRng
+
+
+class ZipfSampler:
+    """Inverse-CDF sampler for the paper's Zipf-like distribution."""
+
+    def __init__(self, num_items: int, exponent: float = 2.0):
+        if num_items < 1:
+            raise ValueError("num_items must be >= 1")
+        weights: List[float] = []
+        running = 0.0
+        for rank in range(1, num_items + 1):
+            running += rank ** (-exponent)
+            weights.append(running)
+        total = weights[-1]
+        self._cdf = [weight / total for weight in weights]
+        self.num_items = num_items
+
+    def sample(self, rng: DeterministicRng) -> int:
+        """Draw an item index in [0, num_items)."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def probability(self, index: int) -> float:
+        """Probability mass of one item (test/debug aid)."""
+        if not 0 <= index < self.num_items:
+            raise IndexError(index)
+        previous = self._cdf[index - 1] if index else 0.0
+        return self._cdf[index] - previous

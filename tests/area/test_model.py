@@ -1,0 +1,80 @@
+"""Area model vs the published Table 2."""
+
+import pytest
+
+from repro.area.model import (
+    MEROM,
+    NIAGARA2,
+    POWER6,
+    PROCESSORS,
+    PUBLISHED_TABLE2,
+    FlexTMAreaModel,
+)
+
+
+@pytest.fixture
+def model():
+    return FlexTMAreaModel()
+
+
+def test_signature_area_matches_published(model):
+    for spec in PROCESSORS:
+        published = PUBLISHED_TABLE2[spec.name]["signature_mm2"]
+        assert model.signature_area(spec) == pytest.approx(published, rel=0.05)
+
+
+def test_cst_register_counts_exact(model):
+    for spec in PROCESSORS:
+        assert model.cst_registers(spec) == PUBLISHED_TABLE2[spec.name]["cst_registers"]
+
+
+def test_state_bits_exact(model):
+    for spec in PROCESSORS:
+        assert model.extra_state_bits(spec) == PUBLISHED_TABLE2[spec.name]["extra_state_bits"]
+    assert model.state_bit_labels(MEROM) == "T,A"
+    assert model.state_bit_labels(NIAGARA2) == "T,A,ID"
+
+
+def test_id_bits_scale_with_smt(model):
+    assert model.id_bits(MEROM) == 0
+    assert model.id_bits(POWER6) == 1
+    assert model.id_bits(NIAGARA2) == 3
+
+
+def test_ot_controller_within_tolerance(model):
+    """Published OT numbers embed design detail; allow 30%."""
+    for spec in PROCESSORS:
+        published = PUBLISHED_TABLE2[spec.name]["ot_controller_mm2"]
+        assert model.ot_controller_area(spec) == pytest.approx(published, rel=0.3)
+
+
+def test_l1_increase_within_tolerance(model):
+    for spec in PROCESSORS:
+        published = PUBLISHED_TABLE2[spec.name]["l1_increase_percent"]
+        assert model.l1_increase_percent(spec) == pytest.approx(published, rel=0.2)
+
+
+def test_core_increase_within_tolerance(model):
+    for spec in PROCESSORS:
+        published = PUBLISHED_TABLE2[spec.name]["core_increase_percent"]
+        assert model.core_increase_percent(spec) == pytest.approx(published, rel=0.25)
+
+
+def test_headline_claims(model):
+    """Section 6's conclusions: ~2.6% only on 8-way SMT, <1% elsewhere."""
+    assert model.core_increase_percent(NIAGARA2) > 2.0
+    assert model.core_increase_percent(MEROM) < 1.0
+    assert model.core_increase_percent(POWER6) < 1.0
+
+
+def test_signature_area_scales_with_bits():
+    small = FlexTMAreaModel(signature_bits=1024)
+    large = FlexTMAreaModel(signature_bits=4096)
+    assert large.signature_area(MEROM) == pytest.approx(4 * small.signature_area(MEROM))
+
+
+def test_estimate_rows_render(model):
+    estimate = model.estimate(MEROM)
+    row = estimate.row()
+    assert row[0] == "Merom"
+    assert any("T,A" in str(cell) for cell in row)

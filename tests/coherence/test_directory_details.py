@@ -1,0 +1,90 @@
+"""Directory bookkeeping details."""
+
+import pytest
+
+from repro.coherence.directory import DirectoryEntry
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+
+def test_entry_bitmask_operations():
+    entry = DirectoryEntry()
+    entry.add_sharer(2)
+    entry.add_sharer(5)
+    entry.add_owner(5)  # promotion clears the sharer bit
+    assert entry.is_owner(5) and not entry.is_sharer(5)
+    assert entry.is_sharer(2)
+    entry.demote_owner_to_sharer(5)
+    assert entry.is_sharer(5) and not entry.is_owner(5)
+    entry.drop(5)
+    entry.drop(2)
+    assert entry.empty
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_signature_holder_stays_listed_after_invalidation(m):
+    """The fix behind the write-skew bug (EXPERIMENTS.md): an
+    invalidated transactional reader keeps receiving forwards."""
+    address = m.allocate_words(1, line_aligned=True)
+    line = m.amap.line_of(address)
+    begin_hardware_transaction(m, 0)
+    m.tload(0, address)  # proc0 reads (S + Rsig)
+    begin_hardware_transaction(m, 1)
+    m.tstore(1, address, 5)  # invalidates proc0's copy...
+    assert m.processors[0].l1.array.peek(line) is None
+    entry = m.directory.peek_entry(line)
+    assert entry.is_sharer(0) or entry.is_owner(0)  # ...but keeps it listed
+    # A second writer still detects the conflict with proc0's read.
+    begin_hardware_transaction(m, 2)
+    result = m.tstore(2, address, 7)
+    assert any(proc == 0 for proc, _ in result.conflicts)
+
+
+def test_non_transactional_holder_pruned_after_drop(m):
+    """Without a signature stake, lazily pruning is still correct."""
+    address = m.allocate_words(1, line_aligned=True)
+    line = m.amap.line_of(address)
+    m.load(0, address)  # plain read: no signature
+    m.store(1, address, 5)  # invalidates proc0
+    entry = m.directory.peek_entry(line)
+    assert not entry.is_sharer(0) and not entry.is_owner(0)
+
+
+def test_stale_signature_holder_pruned_after_transaction_ends(m):
+    address = m.allocate_words(1, line_aligned=True)
+    line = m.amap.line_of(address)
+    begin_hardware_transaction(m, 0)
+    m.tload(0, address)
+    begin_hardware_transaction(m, 1)
+    m.tstore(1, address, 5)  # proc0 invalidated but retained (Rsig)
+    # proc0's transaction ends: signatures clear.
+    m.processors[0].flash_abort()
+    m.processors[0].end_transaction()
+    # The next forward finds no stake and prunes proc0.
+    m.store(2, address, 9)
+    entry = m.directory.peek_entry(line)
+    assert not entry.is_sharer(0) and not entry.is_owner(0)
+
+
+def test_writeback_updates_l2_without_touching_lists(m):
+    address = m.allocate_words(1, line_aligned=True)
+    line = m.amap.line_of(address)
+    m.store(0, address, 1)
+    owners_before = m.directory.owners_of(line)
+    m.directory.writeback(0, line)
+    assert m.directory.owners_of(line) == owners_before
+
+
+def test_gets_demotes_m_owner_to_sharer(m):
+    address = m.allocate_words(1, line_aligned=True)
+    line = m.amap.line_of(address)
+    m.store(0, address, 1)
+    assert m.directory.owners_of(line) == [0]
+    m.load(1, address)
+    assert 0 in m.directory.sharers_of(line)
+    assert 0 not in m.directory.owners_of(line)

@@ -1,0 +1,174 @@
+"""Table-driven conformance against Figure 1's transition tables.
+
+For every (local state, processor operation) and (local state, remote
+request) pair, build a two-processor machine, place the line in the
+required state at processor 0, apply the stimulus, and check the
+resulting local state against the figure.
+"""
+
+import pytest
+
+from repro.coherence.messages import AccessKind, RequestType, ResponseKind
+from repro.coherence.states import LineState
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+
+def _machine():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _put_in_state(machine, state):
+    """Drive processor 0's copy of a fresh line into ``state``."""
+    address = machine.allocate_words(1, line_aligned=True)
+    if state is LineState.E:
+        machine.load(0, address)
+    elif state is LineState.S:
+        machine.load(0, address)
+        machine.load(1, address)
+    elif state is LineState.M:
+        machine.store(0, address, 1)
+    elif state is LineState.TMI:
+        begin_hardware_transaction(machine, 0)
+        machine.tstore(0, address, 1)
+    elif state is LineState.TI:
+        begin_hardware_transaction(machine, 1)
+        machine.tstore(1, address, 1)
+        begin_hardware_transaction(machine, 0)
+        machine.tload(0, address)
+    elif state is LineState.I:
+        pass
+    observed = _state_of(machine, 0, address)
+    assert observed is state, f"setup failed: wanted {state}, got {observed}"
+    return address
+
+
+def _state_of(machine, proc, address):
+    cached = machine.processors[proc].l1.array.peek(machine.amap.line_of(address))
+    return cached.state if cached else LineState.I
+
+
+def _ensure_txn(machine, proc):
+    if machine.processors[proc].current is None:
+        begin_hardware_transaction(machine, proc)
+
+
+# (start state, op, expected state) — the local-operation half of Fig.1.
+LOCAL_TRANSITIONS = [
+    (LineState.I, AccessKind.LOAD, LineState.E),  # sole reader gets E
+    (LineState.I, AccessKind.STORE, LineState.M),
+    (LineState.I, AccessKind.TLOAD, LineState.E),
+    (LineState.I, AccessKind.TSTORE, LineState.TMI),
+    (LineState.S, AccessKind.LOAD, LineState.S),
+    (LineState.S, AccessKind.TLOAD, LineState.S),
+    (LineState.S, AccessKind.STORE, LineState.M),
+    (LineState.S, AccessKind.TSTORE, LineState.TMI),
+    (LineState.E, AccessKind.LOAD, LineState.E),
+    (LineState.E, AccessKind.TLOAD, LineState.E),
+    (LineState.E, AccessKind.STORE, LineState.M),  # silent upgrade
+    (LineState.E, AccessKind.TSTORE, LineState.TMI),
+    (LineState.M, AccessKind.LOAD, LineState.M),
+    (LineState.M, AccessKind.TLOAD, LineState.M),
+    (LineState.M, AccessKind.STORE, LineState.M),
+    (LineState.M, AccessKind.TSTORE, LineState.TMI),  # with flush
+    (LineState.TMI, AccessKind.LOAD, LineState.TMI),
+    (LineState.TMI, AccessKind.TLOAD, LineState.TMI),
+    (LineState.TMI, AccessKind.TSTORE, LineState.TMI),
+    (LineState.TI, AccessKind.LOAD, LineState.TI),
+    (LineState.TI, AccessKind.TLOAD, LineState.TI),
+    (LineState.TI, AccessKind.TSTORE, LineState.TMI),
+]
+
+
+@pytest.mark.parametrize(
+    "start,op,expected",
+    LOCAL_TRANSITIONS,
+    ids=[f"{s.name}-{o.value}" for s, o, e in LOCAL_TRANSITIONS],
+)
+def test_local_transition(start, op, expected):
+    machine = _machine()
+    address = _put_in_state(machine, start)
+    if op.is_transactional:
+        _ensure_txn(machine, 0)
+    dispatch = {
+        AccessKind.LOAD: machine.load,
+        AccessKind.TLOAD: machine.tload,
+    }
+    if op in dispatch:
+        dispatch[op](0, address)
+    elif op is AccessKind.STORE:
+        machine.store(0, address, 9)
+    else:
+        machine.tstore(0, address, 9)
+    assert _state_of(machine, 0, address) is expected
+
+
+# (holder state, remote request, expected holder state) — remote half.
+# Requests issue from processor 2 (processor 1 may be a TI/TMI party).
+REMOTE_TRANSITIONS = [
+    (LineState.S, RequestType.GETS, LineState.S),
+    (LineState.S, RequestType.GETX, LineState.I),
+    (LineState.S, RequestType.TGETX, LineState.I),
+    (LineState.E, RequestType.GETS, LineState.S),
+    (LineState.E, RequestType.GETX, LineState.I),
+    (LineState.E, RequestType.TGETX, LineState.I),
+    (LineState.M, RequestType.GETS, LineState.S),  # with flush
+    (LineState.M, RequestType.GETX, LineState.I),  # with flush
+    (LineState.M, RequestType.TGETX, LineState.I),
+    (LineState.TMI, RequestType.GETS, LineState.TMI),  # never yields
+    (LineState.TMI, RequestType.TGETX, LineState.TMI),
+    (LineState.TI, RequestType.GETX, LineState.I),
+    (LineState.TI, RequestType.TGETX, LineState.I),
+    (LineState.TI, RequestType.GETS, LineState.TI),
+]
+
+
+@pytest.mark.parametrize(
+    "holder,request_type,expected",
+    REMOTE_TRANSITIONS,
+    ids=[f"{h.name}-{r.value}" for h, r, e in REMOTE_TRANSITIONS],
+)
+def test_remote_transition(holder, request_type, expected):
+    machine = _machine()
+    address = _put_in_state(machine, holder)
+    if request_type is RequestType.GETS:
+        machine.load(2, address)
+    elif request_type is RequestType.GETX:
+        machine.store(2, address, 7)
+    else:
+        begin_hardware_transaction(machine, 2)
+        machine.tstore(2, address, 7)
+    assert _state_of(machine, 0, address) is expected
+
+
+def test_response_table():
+    """Figure 1's signature-response table, all six cells."""
+    # Wsig hit rows.
+    for request, expected in [
+        (RequestType.GETS, ResponseKind.THREATENED),
+        (RequestType.GETX, ResponseKind.THREATENED),
+        (RequestType.TGETX, ResponseKind.THREATENED),
+    ]:
+        machine = _machine()
+        begin_hardware_transaction(machine, 0)
+        address = machine.allocate_words(1, line_aligned=True)
+        machine.tstore(0, address, 1)
+        kind = machine.processors[0].classify_remote(
+            2, request, machine.amap.line_of(address)
+        )
+        assert kind is expected, request
+    # Rsig-only hit rows.
+    for request, expected in [
+        (RequestType.GETS, ResponseKind.SHARED),
+        (RequestType.GETX, ResponseKind.INVALIDATED),
+        (RequestType.TGETX, ResponseKind.EXPOSED_READ),
+    ]:
+        machine = _machine()
+        begin_hardware_transaction(machine, 0)
+        address = machine.allocate_words(1, line_aligned=True)
+        machine.tload(0, address)
+        kind = machine.processors[0].classify_remote(
+            2, request, machine.amap.line_of(address)
+        )
+        assert kind is expected, request

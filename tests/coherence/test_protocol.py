@@ -1,0 +1,176 @@
+"""Directory + L1 protocol transitions, exercised through the machine.
+
+These are the Figure 1 transitions observed from outside: local state
+after each access, response types, directory bookkeeping, invalidation
+on exclusive requests, TMI multiple-owner behaviour, Threatened reads
+installing TI, and eviction stickiness.
+"""
+
+import pytest
+
+from repro.coherence.messages import AccessKind, ResponseKind
+from repro.coherence.states import LineState
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _state(machine, proc, address):
+    line = machine.amap.line_of(address)
+    cached = machine.processors[proc].l1.array.peek(line)
+    return cached.state if cached else LineState.I
+
+
+def test_cold_load_grants_exclusive(m):
+    address = m.allocate_words(1)
+    m.load(0, address)
+    assert _state(m, 0, address) is LineState.E
+    assert m.directory.owners_of(m.amap.line_of(address)) == [0]
+
+
+def test_second_reader_demotes_to_shared(m):
+    address = m.allocate_words(1)
+    m.load(0, address)
+    m.load(1, address)
+    assert _state(m, 0, address) is LineState.S
+    assert _state(m, 1, address) is LineState.S
+    assert m.directory.sharers_of(m.amap.line_of(address)) == [0, 1]
+
+
+def test_store_invalidates_sharers(m):
+    address = m.allocate_words(1)
+    m.load(0, address)
+    m.load(1, address)
+    m.store(1, address, 9)
+    assert _state(m, 1, address) is LineState.M
+    assert _state(m, 0, address) is LineState.I
+    assert m.directory.owners_of(m.amap.line_of(address)) == [1]
+
+
+def test_silent_e_to_m_upgrade(m):
+    address = m.allocate_words(1)
+    m.load(0, address)
+    requests_before = m.stats.counter("dir.requests.GETX").value
+    m.store(0, address, 5)
+    assert _state(m, 0, address) is LineState.M
+    assert m.stats.counter("dir.requests.GETX").value == requests_before
+
+
+def test_remote_m_flushes_on_read(m):
+    address = m.allocate_words(1)
+    m.store(0, address, 7)
+    result = m.load(1, address)
+    assert result.value == 7
+    assert _state(m, 0, address) is LineState.S
+    assert _state(m, 1, address) is LineState.S
+
+
+def test_tstore_installs_tmi(m):
+    address = m.allocate_words(1)
+    begin_hardware_transaction(m, 0)
+    m.tstore(0, address, 1)
+    assert _state(m, 0, address) is LineState.TMI
+    line = m.amap.line_of(address)
+    assert m.directory.owners_of(line) == [0]
+    assert m.processors[0].wsig.member(line)
+
+
+def test_tmi_supports_multiple_owners(m):
+    address = m.allocate_words(1)
+    begin_hardware_transaction(m, 0)
+    begin_hardware_transaction(m, 1)
+    m.tstore(0, address, 1)
+    result = m.tstore(1, address, 2)
+    assert (0, ResponseKind.THREATENED) in result.conflicts
+    assert _state(m, 0, address) is LineState.TMI  # TMI never yields
+    assert _state(m, 1, address) is LineState.TMI
+    assert m.directory.owners_of(m.amap.line_of(address)) == [0, 1]
+
+
+def test_threatened_tload_installs_ti_and_reads_old_value(m):
+    address = m.allocate_words(1)
+    m.store(0, address, 5)  # committed value
+    begin_hardware_transaction(m, 0)
+    begin_hardware_transaction(m, 1)
+    m.tstore(0, address, 99)
+    result = m.tload(1, address)
+    assert result.value == 5  # speculative 99 is invisible
+    assert (0, ResponseKind.THREATENED) in result.conflicts
+    assert _state(m, 1, address) is LineState.TI
+
+
+def test_threatened_plain_load_stays_uncached(m):
+    address = m.allocate_words(1)
+    m.store(1, address, 5)
+    begin_hardware_transaction(m, 0)
+    m.tstore(0, address, 99)
+    result = m.load(2, address)
+    assert result.value == 5
+    assert _state(m, 2, address) is LineState.I
+
+
+def test_tload_of_uncontended_line_shares(m):
+    address = m.allocate_words(1)
+    begin_hardware_transaction(m, 0)
+    result = m.tload(0, address)
+    assert not result.conflicts
+    assert _state(m, 0, address) in (LineState.E, LineState.S)
+    assert m.processors[0].rsig.member(m.amap.line_of(address))
+
+
+def test_exposed_read_on_tgetx_over_reader(m):
+    address = m.allocate_words(1)
+    begin_hardware_transaction(m, 0)
+    begin_hardware_transaction(m, 1)
+    m.tload(0, address)
+    result = m.tstore(1, address, 3)
+    assert (0, ResponseKind.EXPOSED_READ) in result.conflicts
+
+
+def test_tstore_on_local_m_flushes_then_tmi(m):
+    address = m.allocate_words(1)
+    m.store(0, address, 4)
+    begin_hardware_transaction(m, 0)
+    writebacks = m.stats.counter("dir.writebacks").value
+    m.tstore(0, address, 5)
+    assert _state(m, 0, address) is LineState.TMI
+    assert m.stats.counter("dir.writebacks").value == writebacks + 1
+
+
+def test_x_request_invalidates_remote_ti(m):
+    address = m.allocate_words(1)
+    m.store(0, address, 5)
+    begin_hardware_transaction(m, 0)
+    begin_hardware_transaction(m, 1)
+    m.tstore(0, address, 99)
+    m.tload(1, address)  # TI at proc 1
+    assert _state(m, 1, address) is LineState.TI
+    begin_hardware_transaction(m, 2)
+    m.tstore(2, address, 55)
+    assert _state(m, 1, address) is LineState.I
+
+
+def test_latency_ordering(m):
+    """hit < L2 < memory, and remote forwards sit between."""
+    address = m.allocate_words(1)
+    cold = m.load(0, address).cycles
+    hit = m.load(0, address).cycles
+    remote = m.load(1, address).cycles
+    assert hit < remote < cold
+
+
+def test_victim_refill_cheaper_than_l2(m):
+    params = m.params
+    # Fill one set beyond associativity to force a silent eviction.
+    set_span = params.l1.num_sets * params.line_bytes
+    base = m.allocate(set_span * (params.l1.associativity + 1), line_aligned=True)
+    addresses = [base + way * set_span for way in range(params.l1.associativity + 1)]
+    for address in addresses:
+        m.load(0, address)
+    refill = m.load(0, addresses[0])  # comes from the victim buffer
+    assert refill.cycles < m.params.l2_hit_cycles

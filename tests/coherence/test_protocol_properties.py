@@ -1,0 +1,128 @@
+"""Property-based protocol stress: random op interleavings.
+
+Hypothesis drives random sequences of transactional and plain accesses
+across processors and checks global invariants after every operation:
+
+* single-writer-or-multiple-readers for non-transactional lines;
+* speculative (TMI) values never visible to other processors or memory;
+* directory owner/sharer lists cover every cached copy;
+* flash abort erases all speculative state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.states import LineState
+from repro.core.machine import FlexTMMachine
+from repro.core.tsw import TxStatus
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+NUM_PROCS = 3
+NUM_LINES = 4
+
+op_strategy = st.tuples(
+    st.sampled_from(["load", "store", "tload", "tstore", "commit", "abort"]),
+    st.integers(min_value=0, max_value=NUM_PROCS - 1),
+    st.integers(min_value=0, max_value=NUM_LINES - 1),
+    st.integers(min_value=1, max_value=100),
+)
+
+
+def _check_invariants(machine, addresses, shadow):
+    for address in addresses:
+        line = machine.amap.line_of(address)
+        entry = machine.directory.peek_entry(line)
+        non_tmi_owners = []
+        for proc in machine.processors:
+            cached = proc.l1.array.peek(line)
+            if cached is None:
+                continue
+            # Directory covers every cached copy (possibly conservatively).
+            assert entry is not None
+            assert entry.is_owner(proc.proc_id) or entry.is_sharer(proc.proc_id), (
+                f"proc {proc.proc_id} caches 0x{line:x} ({cached.state}) unlisted"
+            )
+            if cached.state in (LineState.M, LineState.E):
+                non_tmi_owners.append(proc.proc_id)
+        assert len(non_tmi_owners) <= 1, "two exclusive non-TMI owners"
+        # Committed value integrity: memory only changes via commits and
+        # plain stores, both tracked in the shadow model.
+        assert machine.memory.read(address) == shadow[address]
+
+
+@given(st.lists(op_strategy, min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_random_interleavings_preserve_invariants(ops):
+    machine = FlexTMMachine(small_test_params(NUM_PROCS))
+    base = machine.allocate(NUM_LINES * machine.params.line_bytes, line_aligned=True)
+    addresses = [base + i * machine.params.line_bytes for i in range(NUM_LINES)]
+    shadow = {address: 0 for address in addresses}
+    descriptors = {}
+    overlays = {p: {} for p in range(NUM_PROCS)}
+
+    for op, proc, index, value in ops:
+        address = addresses[index]
+        in_txn = proc in descriptors and (
+            machine.read_status(descriptors[proc]) is TxStatus.ACTIVE
+        )
+        if op in ("tload", "tstore", "commit", "abort") and not in_txn:
+            if proc in descriptors:
+                machine.processors[proc].flash_abort()
+                machine.processors[proc].end_transaction()
+                descriptors.pop(proc, None)
+            if op in ("commit", "abort"):
+                continue
+            descriptors[proc] = begin_hardware_transaction(machine, proc)
+            overlays[proc] = {}
+        if op == "load":
+            if machine.processors[proc].in_transaction:
+                continue  # plain ops modelled outside transactions only
+            result = machine.load(proc, address)
+            assert result.value == shadow[address]
+        elif op == "store":
+            if machine.processors[proc].in_transaction:
+                continue
+            machine.store(proc, address, value)
+            shadow[address] = value
+        elif op == "tload":
+            result = machine.tload(proc, address)
+            expected = overlays[proc].get(address, shadow[address])
+            assert result.value == expected
+        elif op == "tstore":
+            machine.tstore(proc, address, value)
+            overlays[proc][address] = value
+        elif op == "commit":
+            descriptor = descriptors.pop(proc)
+            # Abort W-R/W-W enemies first (the Commit() routine).
+            mask = machine.processors[proc].csts.must_abort_mask
+            enemy = 0
+            while mask:
+                if mask & 1 and enemy != proc and enemy in descriptors:
+                    machine.cas(
+                        proc,
+                        descriptors[enemy].tsw_address,
+                        TxStatus.ACTIVE,
+                        TxStatus.ABORTED,
+                    )
+                mask >>= 1
+                enemy += 1
+            result = machine.cas_commit(proc)
+            if result.success:
+                shadow.update(overlays[proc])
+            machine.processors[proc].end_transaction()
+            overlays[proc] = {}
+        elif op == "abort":
+            descriptor = descriptors.pop(proc)
+            machine.memory.write(descriptor.tsw_address, TxStatus.ABORTED)
+            machine.processors[proc].flash_abort()
+            machine.processors[proc].end_transaction()
+            overlays[proc] = {}
+        # Clean up any processor whose transaction got wounded.
+        for other, descriptor in list(descriptors.items()):
+            if machine.read_status(descriptor) is TxStatus.ABORTED:
+                machine.processors[other].flash_abort()
+                machine.processors[other].end_transaction()
+                descriptors.pop(other)
+                overlays[other] = {}
+        _check_invariants(machine, addresses, shadow)

@@ -1,0 +1,25 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.params import SystemParams, small_test_params
+
+
+@pytest.fixture
+def small_params() -> SystemParams:
+    return small_test_params(4)
+
+
+@pytest.fixture
+def machine(small_params) -> FlexTMMachine:
+    """A 4-core machine with tiny caches (fast eviction paths)."""
+    return FlexTMMachine(small_params)
+
+
+@pytest.fixture
+def machine16() -> FlexTMMachine:
+    """A full 16-core machine with the paper's Table 3(a) geometry."""
+    return FlexTMMachine(SystemParams())

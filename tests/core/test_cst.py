@@ -1,0 +1,93 @@
+"""Conflict summary tables, incl. property-based register checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cst import ConflictSummaryTables, CstRegister
+
+
+def test_set_test_clear_bit():
+    register = CstRegister("R-W", 16)
+    register.set(3)
+    assert register.test(3)
+    register.clear_bit(3)
+    assert not register.test(3)
+
+
+def test_copy_and_clear_is_atomic_read_zero():
+    register = CstRegister("W-W", 16)
+    register.set(1)
+    register.set(5)
+    value = register.copy_and_clear()
+    assert value == (1 << 1) | (1 << 5)
+    assert register.is_empty
+
+
+def test_processors_iteration_order():
+    register = CstRegister("W-R", 16)
+    for processor in (9, 2, 13):
+        register.set(processor)
+    assert list(register.processors()) == [2, 9, 13]
+
+
+def test_bounds_checked():
+    register = CstRegister("R-W", 8)
+    with pytest.raises(ValueError):
+        register.set(8)
+    with pytest.raises(ValueError):
+        register.test(-1)
+    with pytest.raises(ValueError):
+        register.value = 1 << 8
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_popcount_matches_bits(mask):
+    register = CstRegister("x", 16)
+    register.value = mask
+    assert register.popcount == bin(mask).count("1")
+    assert list(register.processors()) == [
+        index for index in range(16) if (mask >> index) & 1
+    ]
+
+
+def test_tables_must_abort_mask_is_wr_or_ww():
+    tables = ConflictSummaryTables(16)
+    tables.r_w.set(1)  # R-W does NOT require aborting anyone
+    tables.w_r.set(2)
+    tables.w_w.set(3)
+    assert tables.must_abort_mask == (1 << 2) | (1 << 3)
+    assert tables.enemies() == [2, 3]
+
+
+def test_conflict_degree_unions_all_three():
+    tables = ConflictSummaryTables(16)
+    tables.r_w.set(1)
+    tables.w_r.set(1)
+    tables.w_w.set(2)
+    assert tables.conflict_degree() == 2
+
+
+def test_clear_empties_everything():
+    tables = ConflictSummaryTables(16)
+    tables.r_w.set(0)
+    tables.w_r.set(1)
+    tables.w_w.set(2)
+    tables.clear()
+    assert tables.is_empty
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+    st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_save_restore_roundtrip(rw, wr, ww):
+    tables = ConflictSummaryTables(16)
+    tables.r_w.value = rw
+    tables.w_r.value = wr
+    tables.w_w.value = ww
+    saved = tables.save()
+    other = ConflictSummaryTables(16)
+    other.restore(saved)
+    assert (other.r_w.value, other.w_r.value, other.w_w.value) == (rw, wr, ww)

@@ -1,0 +1,78 @@
+"""Machine-level corners: warm-up, NACK paths, summary registration."""
+
+import pytest
+
+from repro.core.machine import WORD_BYTES, FlexTMMachine
+from repro.core.tsw import TxStatus
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_warm_region_skips_memory_latency(m):
+    cold = m.allocate(m.params.line_bytes, line_aligned=True)
+    warm = m.allocate(m.params.line_bytes, line_aligned=True)
+    m.warm_region(warm, WORD_BYTES)
+    cold_cycles = m.load(0, cold).cycles
+    warm_cycles = m.load(1, warm).cycles
+    assert cold_cycles >= m.params.memory_cycles
+    assert warm_cycles < m.params.memory_cycles
+
+
+def test_warm_region_charges_no_cycles(m):
+    m.warm_region(m.allocate(4096, line_aligned=True), 4096)
+    assert m.max_cycle() == 0
+
+
+def test_read_status_for_unknown_value(m):
+    descriptor = begin_hardware_transaction(m, 0)
+    m.memory.write(descriptor.tsw_address, 999)
+    assert m.read_status(descriptor) is TxStatus.INVALID
+
+
+def test_max_cycle_tracks_busiest_processor(m):
+    m.processors[2].clock.advance(500)
+    assert m.max_cycle() == 500
+
+
+def test_suspended_registry_roundtrip(m):
+    descriptor = begin_hardware_transaction(m, 0)
+    m.register_suspended(descriptor)
+    assert m._suspended[descriptor.thread_id] is descriptor
+    m.unregister_suspended(descriptor.thread_id)
+    assert descriptor.thread_id not in m._suspended
+    m.unregister_suspended(descriptor.thread_id)  # idempotent
+
+
+def test_descriptor_registry_routes_aborts_only_when_registered(m):
+    descriptor = begin_hardware_transaction(m, 0)
+    address = m.allocate_words(1)
+    m.tstore(0, address, 5)
+    m.unregister_descriptor(descriptor)
+    # An enemy CAS still flips the word, but no hardware-abort routing
+    # happens (the descriptor is no longer registered).
+    result = m.cas(1, descriptor.tsw_address, TxStatus.ACTIVE, TxStatus.ABORTED)
+    assert result.success
+    assert descriptor.aborts == 0
+    # The speculative line is still there (no flash abort was routed).
+    line = m.processors[0].l1.array.peek(m.amap.line_of(address))
+    assert line is not None
+
+
+def test_store_value_visible_to_all_processors(m):
+    address = m.allocate_words(1)
+    m.store(3, address, 1234)
+    for proc in range(4):
+        assert m.load(proc, address).value == 1234
+
+
+def test_aload_marks_and_reads(m):
+    address = m.allocate_words(1)
+    m.memory.write(address, 88)
+    result = m.aload(2, address)
+    assert result.value == 88
+    assert m.processors[2].alerts.is_marked(m.amap.line_of(address))

@@ -1,0 +1,128 @@
+"""Overflow tables and the OT controller (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.overflow import OverflowController, OverflowTable
+from repro.errors import OverflowTableError
+
+
+def test_insert_lookup_extract():
+    table = OverflowTable(num_sets=4, associativity=2)
+    assert table.insert(10)
+    entry = table.lookup(10)
+    assert entry is not None and entry.physical_line == 10
+    assert table.extract(10).physical_line == 10
+    assert table.lookup(10) is None
+
+
+def test_insert_full_set_returns_false():
+    table = OverflowTable(num_sets=2, associativity=1)
+    assert table.insert(0)
+    assert not table.insert(2)  # same set (0 mod 2)
+    assert table.insert(1)  # other set
+
+
+def test_expand_rehashes_everything():
+    table = OverflowTable(num_sets=2, associativity=1)
+    table.insert(0)
+    grown = table.expand()
+    assert grown.num_sets == 4
+    assert grown.expansions == 1
+    assert grown.lookup(0) is not None
+
+
+def test_retag_moves_physical_address():
+    table = OverflowTable(num_sets=4, associativity=2)
+    table.insert(10, logical_line=77)
+    assert table.retag(10, 20)
+    assert table.lookup(10) is None
+    entry = table.lookup(20)
+    assert entry.logical_line == 77
+    assert not table.retag(999, 1000)
+
+
+def test_shape_validation():
+    with pytest.raises(OverflowTableError):
+        OverflowTable(3, 2)
+    with pytest.raises(OverflowTableError):
+        OverflowTable(4, 0)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=10_000), max_size=100))
+@settings(max_examples=30, deadline=None)
+def test_controller_never_loses_lines(lines):
+    """Everything spilled is either found by lookup or was extracted."""
+    controller = OverflowController(signature_bits=256, num_hashes=2, default_sets=2, associativity=2)
+    controller.allocate(thread_id=1)
+    for line in lines:
+        controller.spill(line)
+    for line in lines:
+        assert controller.lookup(line)
+    assert controller.count == len(lines)
+    drained = {physical for physical, _ in controller.committed_lines()}
+    assert drained == set(lines)
+
+
+def test_controller_spill_requires_allocation():
+    controller = OverflowController()
+    with pytest.raises(OverflowTableError):
+        controller.spill(1)
+
+
+def test_controller_osig_filters_lookups():
+    controller = OverflowController(signature_bits=2048, num_hashes=4)
+    controller.allocate(thread_id=0)
+    controller.spill(10)
+    assert controller.lookup(10)
+    assert not controller.lookup(123456789)
+
+
+def test_copyback_window_nacks():
+    controller = OverflowController()
+    controller.allocate(thread_id=0)
+    controller.spill(10)
+    done_at = controller.begin_copyback(now=1000, cycles_per_line=20)
+    assert done_at == 1020
+    assert controller.nacks(10, now=1010)
+    assert not controller.nacks(10, now=1020)  # drain finished
+    assert not controller.nacks(999_999, now=1010)  # not in Osig
+
+
+def test_speculative_table_never_nacks():
+    controller = OverflowController()
+    controller.allocate(thread_id=0)
+    controller.spill(10)
+    assert not controller.nacks(10, now=0)  # not committed
+
+
+def test_release_returns_table():
+    controller = OverflowController()
+    controller.allocate(thread_id=0)
+    controller.spill(10)
+    controller.release()
+    assert not controller.active
+    assert controller.count == 0
+    assert not controller.lookup(10)
+
+
+def test_save_restore_roundtrip():
+    controller = OverflowController()
+    controller.allocate(thread_id=5)
+    controller.spill(10)
+    saved = controller.save()
+    controller.release()
+    controller.restore(saved)
+    assert controller.active
+    assert controller.lookup(10)
+    assert controller.thread_id == 5
+
+
+def test_way_overflow_triggers_expansion():
+    controller = OverflowController(default_sets=2, associativity=1)
+    controller.allocate(thread_id=0)
+    controller.spill(0)
+    controller.spill(2)  # same set -> expands rather than failing
+    assert controller.lookup(0) and controller.lookup(2)
+    assert controller.table.num_sets > 2

@@ -1,0 +1,121 @@
+"""Overflow-table behaviour at the machine level (Section 4.1).
+
+These exercise the full path: TMI eviction -> OT spill -> Osig-filtered
+refill on a later access -> committed copy-back with remote NACKs.
+"""
+
+import pytest
+
+from repro.coherence.states import LineState
+from repro.core.machine import FlexTMMachine
+from repro.params import CacheGeometry, SystemParams
+from tests.helpers import begin_hardware_transaction
+
+
+def _tiny_l1_params():
+    """1-way 256B L1 (4 lines): trivially overflowed write sets."""
+    return SystemParams(
+        num_processors=2,
+        l1=CacheGeometry(size_bytes=256, associativity=1, line_bytes=64),
+        l2=CacheGeometry(size_bytes=64 * 1024, associativity=8, line_bytes=64),
+        victim_buffer_entries=0,
+        ot_initial_sets=4,
+    )
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(_tiny_l1_params())
+
+
+def _write_lines(machine, proc, base, count, value_of=lambda i: i + 1):
+    for index in range(count):
+        machine.tstore(proc, base + index * 64, value_of(index))
+
+
+def test_tmi_eviction_spills_to_ot(m):
+    begin_hardware_transaction(m, 0)
+    base = m.allocate(64 * 16, line_aligned=True)
+    _write_lines(m, 0, base, 8)
+    proc = m.processors[0]
+    assert proc.ot.active
+    assert proc.ot.count > 0
+    assert m.stats.counter("ot.spills").value > 0
+
+
+def test_ot_refill_on_reaccess(m):
+    begin_hardware_transaction(m, 0)
+    base = m.allocate(64 * 16, line_aligned=True)
+    _write_lines(m, 0, base, 8)
+    # Re-read the first line: it was evicted to the OT; the value must
+    # come back from the overlay and the line refills as TMI.
+    result = m.tload(0, base)
+    assert result.value == 1
+    refills = m.stats.counter("ot.refills").value
+    assert refills >= 1
+    line = m.processors[0].l1.array.peek(m.amap.line_of(base))
+    assert line is not None and line.state is LineState.TMI
+
+
+def test_overflowed_transaction_commits_atomically(m):
+    begin_hardware_transaction(m, 0)
+    base = m.allocate(64 * 16, line_aligned=True)
+    _write_lines(m, 0, base, 10)
+    assert m.cas_commit(0).success
+    for index in range(10):
+        assert m.memory.read(base + index * 64) == index + 1
+    # OT begins its copy-back (committed bit set).
+    assert m.processors[0].ot.committed
+
+
+def test_overflowed_transaction_abort_discards_everything(m):
+    descriptor = begin_hardware_transaction(m, 0)
+    base = m.allocate(64 * 16, line_aligned=True)
+    _write_lines(m, 0, base, 10)
+    m.processors[0].flash_abort()
+    for index in range(10):
+        assert m.memory.read(base + index * 64) == 0
+    assert not m.processors[0].ot.active  # returned to the OS
+
+
+def test_copyback_window_nacks_remote_requests(m):
+    begin_hardware_transaction(m, 0)
+    base = m.allocate(64 * 16, line_aligned=True)
+    _write_lines(m, 0, base, 10)
+    assert m.cas_commit(0).success
+    assert m.processors[0].ot.copyback_until > 0
+    # A remote access inside the window gets NACKed and must retry.
+    result = m.load(1, base)
+    assert result.nacked
+    assert m.stats.counter("ot.nacks").value >= 1
+    # After the drain completes the same access succeeds.
+    m.processors[1].clock.advance_to(m.processors[0].ot.copyback_until + 1)
+    result = m.load(1, base)
+    assert not result.nacked
+    assert result.value == 1
+
+
+def test_remote_conflict_detected_for_overflowed_line(m):
+    """Signatures answer for lines living in the OT: the directory keeps
+    the owner listed and the Wsig still says Threatened."""
+    begin_hardware_transaction(m, 0)
+    begin_hardware_transaction(m, 1)
+    base = m.allocate(64 * 16, line_aligned=True)
+    _write_lines(m, 0, base, 8)  # first lines have overflowed by now
+    result = m.tload(1, base)
+    assert result.conflicts, "conflict lost when TMI line moved to OT"
+    assert result.value == 0  # speculative value invisible
+
+
+def test_paging_retag_keeps_lookup_working(m):
+    begin_hardware_transaction(m, 0)
+    base = m.allocate(64 * 16, line_aligned=True)
+    _write_lines(m, 0, base, 8)
+    proc = m.processors[0]
+    spilled = proc.ot.committed_lines()
+    physical, logical = spilled[0]
+    # OS re-maps the page: update tags and signatures (Section 4.1).
+    new_physical = physical + (1 << 20)
+    assert proc.ot.table.retag(physical, new_physical)
+    proc.ot.osig.insert(new_physical)
+    assert proc.ot.lookup(new_physical)

@@ -1,0 +1,109 @@
+"""Paging flows of Section 4.1."""
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.core.paging import PAGE_BYTES, page_lines, remap_page, unmap_page
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _page_base(m):
+    base = m.allocate(2 * PAGE_BYTES, line_aligned=True)
+    return (base + PAGE_BYTES - 1) & ~(PAGE_BYTES - 1)
+
+
+def test_page_lines_geometry(m):
+    base = _page_base(m)
+    lines = page_lines(m, base)
+    assert len(lines) == PAGE_BYTES // m.params.line_bytes
+    with pytest.raises(ValueError):
+        page_lines(m, base + 8)
+
+
+def test_unmap_moves_tmi_lines_to_ot(m):
+    base = _page_base(m)
+    begin_hardware_transaction(m, 0)
+    m.tstore(0, base, 7)
+    m.tstore(0, base + 64, 8)
+    moved = unmap_page(m, base)
+    assert moved == 2
+    proc = m.processors[0]
+    assert proc.ot.active
+    assert proc.ot.lookup(m.amap.line_of(base))
+    assert proc.l1.array.peek(m.amap.line_of(base)) is None
+    # Speculative values are still intact in the overlay.
+    assert proc.overlay[base] == 7
+
+
+def test_unmap_drops_plain_copies(m):
+    base = _page_base(m)
+    m.load(0, base)
+    unmap_page(m, base)
+    assert m.processors[0].l1.array.peek(m.amap.line_of(base)) is None
+
+
+def test_remap_updates_running_signatures(m):
+    base = _page_base(m)
+    new_base = base + PAGE_BYTES
+    begin_hardware_transaction(m, 0)
+    m.tload(0, base)
+    m.tstore(0, base + 64, 9)
+    updates = remap_page(m, base, new_base)
+    assert updates >= 2
+    proc = m.processors[0]
+    assert proc.rsig.member(m.amap.line_of(new_base))
+    assert proc.wsig.member(m.amap.line_of(new_base + 64))
+    # Old addresses stay set (false positives only — conservative).
+    assert proc.rsig.member(m.amap.line_of(base))
+    # Overlay values moved to the new frame.
+    assert proc.overlay[new_base + 64] == 9
+
+
+def test_remap_retags_ot_entries(m):
+    base = _page_base(m)
+    new_base = base + PAGE_BYTES
+    begin_hardware_transaction(m, 0)
+    m.tstore(0, base, 7)
+    unmap_page(m, base)  # push the TMI line into the OT
+    remap_page(m, base, new_base)
+    proc = m.processors[0]
+    assert proc.ot.lookup(m.amap.line_of(new_base))
+
+
+def test_remap_updates_suspended_signatures(m):
+    base = _page_base(m)
+    new_base = base + PAGE_BYTES
+    descriptor = begin_hardware_transaction(m, 0)
+    m.tload(0, base)
+    from repro.core.descriptor import RunState
+
+    descriptor.run_state = RunState.SUSPENDED
+    saved = m.processors[0].save_transactional_state()
+    descriptor.saved = saved
+    m.register_suspended(descriptor)
+    remap_page(m, base, new_base)
+    assert descriptor.saved.rsig.member(m.amap.line_of(new_base))
+
+
+def test_remap_rejects_unaligned_target(m):
+    base = _page_base(m)
+    with pytest.raises(ValueError):
+        remap_page(m, base, base + 8)
+
+
+def test_remapped_transaction_still_commits(m):
+    """End to end: write, unmap, remap, then commit at the new frame."""
+    base = _page_base(m)
+    new_base = base + PAGE_BYTES
+    begin_hardware_transaction(m, 0)
+    m.tstore(0, base, 41)
+    unmap_page(m, base)
+    remap_page(m, base, new_base)
+    assert m.cas_commit(0).success
+    assert m.memory.read(new_base) == 41

@@ -1,0 +1,81 @@
+"""Property-based checks on the per-core processor state machine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descriptor import TransactionDescriptor
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+lines = st.lists(
+    st.integers(min_value=0, max_value=200), min_size=0, max_size=30, unique=True
+)
+
+
+@given(read_lines=lines, write_lines=lines)
+@settings(max_examples=40, deadline=None)
+def test_save_restore_roundtrip(read_lines, write_lines):
+    """Suspend + resume preserves signatures, CSTs and overlay exactly."""
+    machine = FlexTMMachine(small_test_params(2))
+    descriptor = begin_hardware_transaction(machine, 0)
+    base = machine.allocate(256 * machine.params.line_bytes, line_aligned=True)
+    for index in read_lines:
+        machine.tload(0, base + index * machine.params.line_bytes)
+    for index in write_lines:
+        machine.tstore(0, base + index * machine.params.line_bytes, index)
+    proc = machine.processors[0]
+    rsig_before = proc.rsig.copy()
+    wsig_before = proc.wsig.copy()
+    overlay_before = dict(proc.overlay)
+    proc.csts.w_r.set(1)
+
+    saved = proc.save_transactional_state()
+    # Hardware is clean after the save.
+    assert proc.rsig.is_empty and proc.wsig.is_empty
+    assert proc.overlay == {}
+    assert proc.csts.is_empty
+
+    proc.restore_transactional_state(descriptor, saved)
+    assert proc.overlay == overlay_before
+    assert proc.csts.w_r.test(1)
+    for index in read_lines:
+        line = machine.amap.line_of(base + index * machine.params.line_bytes)
+        assert proc.rsig.member(line) == rsig_before.member(line)
+    for index in write_lines:
+        line = machine.amap.line_of(base + index * machine.params.line_bytes)
+        assert proc.wsig.member(line) == wsig_before.member(line)
+
+
+@given(write_lines=lines)
+@settings(max_examples=40, deadline=None)
+def test_flash_abort_is_total(write_lines):
+    """After flash_abort no speculative state survives anywhere."""
+    machine = FlexTMMachine(small_test_params(2))
+    begin_hardware_transaction(machine, 0)
+    base = machine.allocate(256 * machine.params.line_bytes, line_aligned=True)
+    for index in write_lines:
+        machine.tstore(0, base + index * machine.params.line_bytes, index + 1)
+    proc = machine.processors[0]
+    proc.flash_abort()
+    assert list(proc.l1.speculative_lines()) == []
+    assert proc.overlay == {}
+    assert proc.rsig.is_empty and proc.wsig.is_empty
+    assert not proc.ot.active
+    for index in write_lines:
+        assert machine.memory.read(base + index * machine.params.line_bytes) == 0
+
+
+@given(write_lines=lines)
+@settings(max_examples=40, deadline=None)
+def test_commit_publishes_every_write(write_lines):
+    """CAS-Commit makes every speculative word globally visible,
+    regardless of whether its line stayed in the L1 or overflowed."""
+    machine = FlexTMMachine(small_test_params(2))
+    begin_hardware_transaction(machine, 0)
+    base = machine.allocate(256 * machine.params.line_bytes, line_aligned=True)
+    for index in write_lines:
+        machine.tstore(0, base + index * machine.params.line_bytes, index + 1)
+    assert machine.cas_commit(0).success
+    for index in write_lines:
+        assert machine.memory.read(base + index * machine.params.line_bytes) == index + 1

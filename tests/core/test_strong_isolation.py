@@ -1,0 +1,77 @@
+"""Strong isolation (Section 3.5, E9).
+
+Non-transactional writes abort conflicting transactions (serialize
+before them); non-transactional reads see only committed values and
+leave threatened lines uncached.
+"""
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.core.tsw import TxStatus
+from repro.params import small_test_params
+from tests.helpers import begin_hardware_transaction
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_nontx_write_aborts_transactional_writer(m):
+    address = m.allocate_words(1)
+    victim = begin_hardware_transaction(m, 1)
+    m.tstore(1, address, 99)
+    m.store(0, address, 5)
+    assert m.read_status(victim) is TxStatus.ABORTED
+    assert m.memory.read(address) == 5
+    assert m.stats.counter("strong_isolation.aborts").value == 1
+
+
+def test_nontx_write_aborts_transactional_reader(m):
+    address = m.allocate_words(1)
+    victim = begin_hardware_transaction(m, 1)
+    m.tload(1, address)
+    m.store(0, address, 5)
+    assert m.read_status(victim) is TxStatus.ABORTED
+
+
+def test_nontx_read_does_not_abort(m):
+    address = m.allocate_words(1)
+    victim = begin_hardware_transaction(m, 1)
+    m.tstore(1, address, 99)
+    result = m.load(0, address)
+    assert result.value == 0  # committed value, not 99
+    assert m.read_status(victim) is TxStatus.ACTIVE
+
+
+def test_nontx_write_to_unrelated_line_harmless(m):
+    address = m.allocate_words(1)
+    other = m.allocate(m.params.line_bytes * 8, line_aligned=True)
+    victim = begin_hardware_transaction(m, 1)
+    m.tstore(1, address, 99)
+    m.store(0, other, 5)
+    assert m.read_status(victim) is TxStatus.ACTIVE
+
+
+def test_transactional_cas_traffic_is_not_strong_isolation(m):
+    """A transaction's own Commit()/manager CASes must not trigger the
+    non-transactional-writer rule against its enemies."""
+    address = m.allocate_words(1)
+    begin_hardware_transaction(m, 0)
+    victim = begin_hardware_transaction(m, 1)
+    m.tstore(1, address, 1)
+    m.tload(0, address)
+    scratch = m.allocate_words(1, line_aligned=True)
+    m.cas(0, scratch, 0, 1)  # proc 0 is in a transaction
+    assert m.read_status(victim) is TxStatus.ACTIVE
+
+
+def test_committed_writer_not_aborted_by_late_store(m):
+    address = m.allocate_words(1)
+    victim = begin_hardware_transaction(m, 1)
+    m.tstore(1, address, 99)
+    assert m.cas_commit(1).success
+    m.store(0, address, 5)
+    assert m.read_status(victim) is TxStatus.COMMITTED
+    assert m.memory.read(address) == 5

@@ -1,0 +1,58 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.charts import chart_figure4, chart_figure5, render_chart
+from repro.harness.figure4 import Figure4Point
+from repro.harness.figure5 import PolicyPoint
+
+
+def test_render_chart_basic_shape():
+    text = render_chart(
+        {"A": [(1, 1.0), (4, 2.0), (8, 4.0)], "B": [(1, 1.0), (4, 1.0), (8, 1.0)]},
+        title="T",
+        width=40,
+        height=10,
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "o=A" in lines[-1] and "*=B" in lines[-1]
+    assert "4.00" in text  # y-axis max label
+    assert any("o" in line for line in lines)
+    # Tick labels on the x axis.
+    assert "8" in lines[-2]
+
+
+def test_render_chart_rejects_empty():
+    with pytest.raises(ValueError):
+        render_chart({})
+
+
+def test_monotone_series_plots_monotone_rows():
+    """Higher y must land on an earlier (higher) row."""
+    text = render_chart({"A": [(1, 1.0), (2, 3.0)]}, width=20, height=8)
+    lines = [line for line in text.splitlines() if "|" in line]
+    first = next(i for i, line in enumerate(lines) if "o" in line)
+    last = max(i for i, line in enumerate(lines) if "o" in line)
+    assert first < last  # the y=3 point is drawn above the y=1 point
+
+
+def test_chart_figure4_adapter():
+    points = [
+        Figure4Point("HashTable", "CGL", t, 0.0, n, 0, 0)
+        for t, n in [(1, 1.0), (8, 0.5)]
+    ] + [
+        Figure4Point("HashTable", "FlexTM", t, 0.0, n, 0, 0)
+        for t, n in [(1, 0.9), (8, 4.0)]
+    ]
+    text = chart_figure4(points, "HashTable")
+    assert "Figure 4" in text and "FlexTM" in text
+
+
+def test_chart_figure5_adapter():
+    points = [
+        PolicyPoint("LFUCache", mode, t, 0.0, n, 0, 0)
+        for mode, t, n in [("eager", 1, 1.0), ("eager", 8, 0.3), ("lazy", 1, 1.0), ("lazy", 8, 0.8)]
+    ]
+    text = chart_figure5(points, "LFUCache")
+    assert "lazy" in text and "eager" in text

@@ -1,0 +1,34 @@
+"""The `python -m repro.harness` command-line interface."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+def test_table2_cli(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Merom" in out and "Niagara-2" in out
+
+
+def test_table4_cli(capsys):
+    assert main(["table4"]) == 0
+    out = capsys.readouterr().out
+    assert "BC-BO" in out and "Discover" in out
+
+
+def test_figure4_cli_with_small_budget(capsys):
+    assert main(["figure4", "--cycles", "20000", "--threads", "1,2"]) == 0
+    out = capsys.readouterr().out
+    assert "HashTable" in out and "Vacation-High" in out
+
+
+def test_bad_artifact_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure9"])
+
+
+def test_thread_list_parsing():
+    from repro.harness.__main__ import _thread_list
+
+    assert _thread_list("1,4,16") == (1, 4, 16)

@@ -1,0 +1,82 @@
+"""Fast smoke tests for the figure harnesses (tiny budgets)."""
+
+import pytest
+
+from repro.harness.figure4 import (
+    render_conflict_table,
+    render_figure4,
+    run_conflict_table,
+    run_figure4,
+    systems_for,
+)
+from repro.harness.figure5 import (
+    render_multiprogramming,
+    render_policy,
+    run_multiprogramming,
+    run_policy_comparison,
+)
+from repro.harness.overflow import overflow_params, run_overflow_study, render_overflow
+
+SMOKE_CYCLES = 25_000
+
+
+def test_systems_for_selects_baselines():
+    assert systems_for("RBTree") == ["CGL", "FlexTM", "RTM-F", "RSTM"]
+    assert systems_for("Vacation-High") == ["CGL", "FlexTM", "TL2"]
+
+
+def test_figure4_harness_structure():
+    results = run_figure4(
+        workloads=["HashTable"], thread_points=(1, 2), cycle_limit=SMOKE_CYCLES
+    )
+    points = results["HashTable"]
+    assert {p.system for p in points} == {"CGL", "FlexTM", "RTM-F", "RSTM"}
+    assert {p.threads for p in points} == {1, 2}
+    for point in points:
+        assert point.normalized >= 0
+        assert point.commits >= 0
+    text = render_figure4(results)
+    assert "HashTable" in text and "FlexTM" in text
+
+
+def test_conflict_table_harness():
+    table = run_conflict_table(
+        workloads=["HashTable"], thread_points=(2,), cycle_limit=SMOKE_CYCLES
+    )
+    stats = table["HashTable"][2]
+    assert set(stats) == {"median", "max"}
+    assert 0 <= stats["median"] <= stats["max"] <= 2
+    assert "HashTable" in render_conflict_table(table)
+
+
+def test_figure5_policy_harness():
+    results = run_policy_comparison(
+        workloads=["LFUCache"], thread_points=(1, 2), cycle_limit=SMOKE_CYCLES
+    )
+    points = results["LFUCache"]
+    assert {p.mode for p in points} == {"eager", "lazy"}
+    assert "LFUCache" in render_policy(results)
+
+
+def test_figure5_multiprogramming_harness():
+    results = run_multiprogramming(
+        workloads=["LFUCache"], thread_points=(2,), cycle_limit=SMOKE_CYCLES
+    )
+    points = results["LFUCache"]
+    assert all(point.prime_items >= 0 for point in points)
+    assert "Prime" in render_multiprogramming(results)
+
+
+def test_overflow_harness():
+    results = run_overflow_study(
+        workloads=("HashTable",), threads=2, cycle_limit=SMOKE_CYCLES
+    )
+    point = results["HashTable"]
+    assert point.ot_throughput >= 0 and point.ideal_throughput >= 0
+    assert "HashTable" in render_overflow(results)
+
+
+def test_overflow_params_are_tiny():
+    params = overflow_params()
+    assert params.l1.size_bytes < 32 * 1024
+    assert params.victim_buffer_entries == 0

@@ -1,0 +1,79 @@
+"""Pathology analysis over run results."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.harness.pathology import PathologyReport, analyze, render
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.params import small_test_params
+from repro.runtime.scheduler import RunResult
+
+
+def _fake_result(commits, aborts, stats):
+    return RunResult(
+        cycles=100_000,
+        commits=commits,
+        aborts=aborts,
+        nontx_items=0,
+        per_thread=[],
+        stats=stats,
+        conflict_degrees=[],
+    )
+
+
+def test_healthy_run_reports_none():
+    report = analyze(_fake_result(1000, 20, {}))
+    assert report.friendly_fire_risk == "low"
+    assert report.worst() == "none"
+
+
+def test_friendly_fire_detected():
+    report = analyze(_fake_result(100, 500, {}))
+    assert report.friendly_fire_risk == "high"
+    assert report.worst() == "FriendlyFire"
+
+
+def test_duelling_upgrade_detected():
+    stats = {"cst.threatened_responses": 10, "cst.exposed_read_responses": 40}
+    report = analyze(_fake_result(1000, 10, stats))
+    assert report.duelling_upgrade_risk == "high"
+    assert report.worst() == "DuellingUpgrade"
+
+
+def test_convoying_detected():
+    report = analyze(_fake_result(100, 5, {"summary.traps": 500}))
+    assert report.convoying_risk == "high"
+    assert report.worst() == "Convoying"
+
+
+def test_render_is_complete():
+    text = render(analyze(_fake_result(100, 500, {})))
+    assert "FriendlyFire" in text and "worst=" in text
+
+
+def test_real_run_classification():
+    """Eager RandomGraph must look pathological; HashTable healthy."""
+    graph = run_experiment(
+        ExperimentConfig(
+            workload="RandomGraph",
+            system="FlexTM",
+            threads=4,
+            mode=ConflictMode.EAGER,
+            cycle_limit=80_000,
+            params=small_test_params(4),
+        )
+    )
+    table = run_experiment(
+        ExperimentConfig(
+            workload="HashTable",
+            system="FlexTM",
+            threads=4,
+            mode=ConflictMode.EAGER,
+            cycle_limit=80_000,
+            params=small_test_params(4),
+        )
+    )
+    graph_report = analyze(graph)
+    table_report = analyze(table)
+    assert graph_report.aborts_per_commit > table_report.aborts_per_commit
+    assert table_report.friendly_fire_risk == "low"

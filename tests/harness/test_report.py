@@ -1,0 +1,24 @@
+"""Report formatting."""
+
+from repro.harness.report import format_series, format_table
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["Name", "Value"], [["alpha", 1], ["b", 22.5]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "Name" in lines[1] and "Value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "alpha" in lines[3]
+    assert "22.50" in lines[4]
+
+
+def test_format_table_handles_empty_rows():
+    text = format_table(["A"], [])
+    assert "A" in text
+
+
+def test_format_series():
+    line = format_series("FlexTM", [(1, 1.0), (2, 1.9)])
+    assert line.startswith("FlexTM")
+    assert "1=1.00" in line and "2=1.90" in line

@@ -1,0 +1,96 @@
+"""Experiment runner plumbing."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.harness.runner import (
+    ExperimentConfig,
+    SYSTEMS,
+    cgl_baseline,
+    normalized_throughput,
+    run_experiment,
+)
+from repro.params import small_test_params
+from repro.workloads import WORKLOADS
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        run_experiment(ExperimentConfig(workload="Nope", system="FlexTM", threads=1))
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(KeyError):
+        run_experiment(ExperimentConfig(workload="HashTable", system="Nope", threads=1))
+
+
+def test_registry_completeness():
+    assert set(SYSTEMS) == {"CGL", "FlexTM", "RTM-F", "RSTM", "TL2", "LogTM-SE"}
+    assert set(WORKLOADS) == {
+        "HashTable",
+        "RBTree",
+        "LFUCache",
+        "RandomGraph",
+        "Delaunay",
+        "Vacation-Low",
+        "Vacation-High",
+        "KMeans",
+    }
+
+
+def test_basic_run_produces_commits():
+    result = run_experiment(
+        ExperimentConfig(
+            workload="HashTable",
+            system="FlexTM",
+            threads=2,
+            cycle_limit=60_000,
+            params=small_test_params(4),
+        )
+    )
+    assert result.commits > 0
+    assert result.throughput > 0
+
+
+def test_runs_are_deterministic():
+    config = ExperimentConfig(
+        workload="RBTree",
+        system="FlexTM",
+        threads=2,
+        mode=ConflictMode.LAZY,
+        cycle_limit=50_000,
+        params=small_test_params(4),
+    )
+    first = run_experiment(config)
+    second = run_experiment(config)
+    assert first.commits == second.commits
+    assert first.aborts == second.aborts
+
+
+def test_background_threads_run_prime():
+    result = run_experiment(
+        ExperimentConfig(
+            workload="LFUCache",
+            system="FlexTM",
+            threads=2,
+            background_threads=2,
+            yield_on_abort=True,
+            cycle_limit=60_000,
+            params=small_test_params(4),
+        )
+    )
+    assert result.nontx_items > 0  # Prime made progress
+
+
+def test_normalized_throughput():
+    baseline = cgl_baseline("HashTable", cycle_limit=60_000, params=small_test_params(4))
+    result = run_experiment(
+        ExperimentConfig(
+            workload="HashTable",
+            system="CGL",
+            threads=1,
+            cycle_limit=60_000,
+            params=small_test_params(4),
+        )
+    )
+    assert normalized_throughput(result, baseline) == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,58 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+from repro.core.descriptor import ConflictMode, TransactionDescriptor
+from repro.core.machine import FlexTMMachine
+from repro.core.tsw import TxStatus
+
+
+def drive(machine: FlexTMMachine, proc_id: int, generator):
+    """Synchronously execute a generator of low-level ops on one core.
+
+    A miniature version of the scheduler's op engine for unit tests
+    that want to run a single thread to completion.  Returns the
+    generator's return value.
+    """
+    result = None
+    try:
+        while True:
+            op = generator.send(result)
+            result = execute_op(machine, proc_id, op)
+    except StopIteration as stop:
+        return stop.value
+
+
+def execute_op(machine: FlexTMMachine, proc_id: int, op):
+    kind = op[0]
+    clock = machine.processors[proc_id].clock
+    if kind == "work":
+        clock.advance(max(1, op[1]))
+        return None
+    dispatch = {
+        "tload": lambda: machine.tload(proc_id, op[1]),
+        "tstore": lambda: machine.tstore(proc_id, op[1], op[2]),
+        "load": lambda: machine.load(proc_id, op[1]),
+        "store": lambda: machine.store(proc_id, op[1], op[2]),
+        "cas": lambda: machine.cas(proc_id, op[1], op[2], op[3]),
+        "cas_commit": lambda: machine.cas_commit(proc_id),
+        "aload": lambda: machine.aload(proc_id, op[1]),
+    }
+    result = dispatch[kind]()
+    clock.advance(max(1, result.cycles))
+    return result
+
+
+def begin_hardware_transaction(
+    machine: FlexTMMachine, proc_id: int, mode: ConflictMode = ConflictMode.LAZY
+) -> TransactionDescriptor:
+    """Minimal transaction bring-up without the full runtime."""
+    tsw = machine.allocate(machine.params.line_bytes, line_aligned=True)
+    descriptor = TransactionDescriptor(
+        thread_id=proc_id, tsw_address=tsw, mode=mode, last_processor=proc_id
+    )
+    machine.memory.write(tsw, TxStatus.ACTIVE)
+    machine.register_descriptor(descriptor)
+    machine.processors[proc_id].begin_transaction(descriptor)
+    machine.aload(proc_id, tsw)
+    return descriptor

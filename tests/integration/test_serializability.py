@@ -1,0 +1,92 @@
+"""Cross-system serializability: the bank-transfer invariant.
+
+Every TM system must preserve the total balance across concurrent
+random transfers — the canonical atomicity check.  This exercises
+conflicting read-write transactions, aborts, retries and commits on all
+five systems under both conflict-management modes.
+"""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread, WorkItem
+from repro.sim.rng import DeterministicRng
+from repro.stm.cgl import CglRuntime
+from repro.stm.rstm import RstmRuntime
+from repro.stm.rtmf import RtmfRuntime
+from repro.stm.logtmse import LogTmSeRuntime
+from repro.stm.tl2 import Tl2Runtime
+
+NUM_ACCOUNTS = 8
+INITIAL_BALANCE = 1000
+
+
+def _bank(machine):
+    line = machine.params.line_bytes
+    base = machine.allocate(NUM_ACCOUNTS * line, line_aligned=True)
+    accounts = [base + index * line for index in range(NUM_ACCOUNTS)]
+    for account in accounts:
+        machine.memory.write(account, INITIAL_BALANCE)
+    return accounts
+
+
+def _transfer_items(accounts, rng, count):
+    def make(src, dst, amount):
+        def transfer(ctx):
+            src_balance = yield from ctx.read(src)
+            dst_balance = yield from ctx.read(dst)
+            yield from ctx.write(src, src_balance - amount)
+            yield from ctx.work(10)
+            yield from ctx.write(dst, dst_balance + amount)
+
+        return transfer
+
+    for _ in range(count):
+        src, dst = rng.sample(accounts, 2)
+        yield WorkItem(make(src, dst, rng.randint(1, 50)))
+
+
+BACKENDS = [
+    ("CGL", lambda machine: CglRuntime(machine)),
+    ("FlexTM-eager", lambda machine: FlexTMRuntime(machine, mode=ConflictMode.EAGER)),
+    ("FlexTM-lazy", lambda machine: FlexTMRuntime(machine, mode=ConflictMode.LAZY)),
+    ("RTM-F", lambda machine: RtmfRuntime(machine)),
+    ("RSTM", lambda machine: RstmRuntime(machine)),
+    ("TL2", lambda machine: Tl2Runtime(machine)),
+    ("LogTM-SE", lambda machine: LogTmSeRuntime(machine)),
+]
+
+
+@pytest.mark.parametrize("name,factory", BACKENDS, ids=[name for name, _ in BACKENDS])
+def test_total_balance_conserved(name, factory):
+    machine = FlexTMMachine(small_test_params(4))
+    backend = factory(machine)
+    accounts = _bank(machine)
+    threads = [
+        TxThread(i, backend, _transfer_items(accounts, DeterministicRng(100 + i), 25))
+        for i in range(4)
+    ]
+    result = Scheduler(machine, threads).run(cycle_limit=50_000_000)
+    assert result.commits == 100, f"{name}: not all transfers committed"
+    total = sum(machine.memory.read(account) for account in accounts)
+    assert total == NUM_ACCOUNTS * INITIAL_BALANCE, f"{name}: money not conserved"
+
+
+@pytest.mark.parametrize("name,factory", BACKENDS[1:], ids=[name for name, _ in BACKENDS[1:]])
+def test_aborted_transactions_leave_no_trace(name, factory):
+    """Run under heavy contention; rolled-back updates must not leak."""
+    machine = FlexTMMachine(small_test_params(4))
+    backend = factory(machine)
+    accounts = _bank(machine)[:2]  # two hot accounts -> constant conflicts
+    threads = [
+        TxThread(i, backend, _transfer_items(accounts, DeterministicRng(i), 20))
+        for i in range(4)
+    ]
+    result = Scheduler(machine, threads).run(cycle_limit=80_000_000)
+    assert result.commits == 80
+    total = sum(machine.memory.read(account) for account in accounts)
+    assert total == 2 * INITIAL_BALANCE

@@ -1,0 +1,99 @@
+"""Snapshot consistency: no *committed* transaction saw a torn update.
+
+Writers keep two cells equal (x == y, updated together); readers record
+the pair they observed by *transactionally* writing it to a private log
+cell.  If the reading attempt aborts, the log write rolls back with it —
+so after the run, every populated log cell corresponds to a committed
+read, and each must hold an equal pair.  Any TM system that lets a
+committed reader see a half-applied update fails here.
+"""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread, WorkItem
+from repro.stm.cgl import CglRuntime
+from repro.stm.rstm import RstmRuntime
+from repro.stm.rtmf import RtmfRuntime
+from repro.stm.logtmse import LogTmSeRuntime
+from repro.stm.tl2 import Tl2Runtime
+
+BACKENDS = [
+    ("CGL", lambda machine: CglRuntime(machine)),
+    ("FlexTM-eager", lambda machine: FlexTMRuntime(machine, mode=ConflictMode.EAGER)),
+    ("FlexTM-lazy", lambda machine: FlexTMRuntime(machine, mode=ConflictMode.LAZY)),
+    ("RTM-F", lambda machine: RtmfRuntime(machine)),
+    ("RSTM", lambda machine: RstmRuntime(machine)),
+    ("TL2", lambda machine: Tl2Runtime(machine)),
+    ("LogTM-SE", lambda machine: LogTmSeRuntime(machine)),
+]
+
+WRITES_PER_WRITER = 25
+READS_PER_READER = 50
+ENCODE_SHIFT = 20  # log value = (x << SHIFT) | y | SENTINEL
+SENTINEL = 1 << 60
+
+
+@pytest.mark.parametrize("name,factory", BACKENDS, ids=[name for name, _ in BACKENDS])
+def test_no_torn_reads_commit(name, factory):
+    machine = FlexTMMachine(small_test_params(4))
+    backend = factory(machine)
+    line = machine.params.line_bytes
+    cell_x = machine.allocate(line, line_aligned=True)
+    cell_y = machine.allocate(line, line_aligned=True)
+    log_cells = [
+        machine.allocate(line, line_aligned=True) for _ in range(2 * READS_PER_READER)
+    ]
+
+    def writer_items():
+        def bump(ctx):
+            x = yield from ctx.read(cell_x)
+            yield from ctx.write(cell_x, x + 1)
+            yield from ctx.work(30)  # widen any torn window
+            y = yield from ctx.read(cell_y)
+            yield from ctx.write(cell_y, y + 1)
+
+        for _ in range(WRITES_PER_WRITER):
+            yield WorkItem(bump)
+
+    def reader_items(log_slice):
+        def make_check(log_cell):
+            def check(ctx):
+                x = yield from ctx.read(cell_x)
+                yield from ctx.work(30)
+                y = yield from ctx.read(cell_y)
+                yield from ctx.write(log_cell, SENTINEL | (x << ENCODE_SHIFT) | y)
+
+            return check
+
+        for log_cell in log_slice:
+            yield WorkItem(make_check(log_cell))
+
+    threads = [
+        TxThread(0, backend, writer_items()),
+        TxThread(1, backend, writer_items()),
+        TxThread(2, backend, reader_items(log_cells[:READS_PER_READER])),
+        TxThread(3, backend, reader_items(log_cells[READS_PER_READER:])),
+    ]
+    result = Scheduler(machine, threads).run(cycle_limit=200_000_000)
+    expected = 2 * WRITES_PER_WRITER + 2 * READS_PER_READER
+    assert result.commits == expected, f"{name}: work incomplete"
+    assert machine.memory.read(cell_x) == machine.memory.read(cell_y) == 2 * WRITES_PER_WRITER
+
+    torn = []
+    populated = 0
+    for log_cell in log_cells:
+        word = machine.memory.read(log_cell)
+        if not word & SENTINEL:
+            continue
+        populated += 1
+        x = (word & ~SENTINEL) >> ENCODE_SHIFT
+        y = word & ((1 << ENCODE_SHIFT) - 1)
+        if x != y:
+            torn.append((x, y))
+    assert populated == 2 * READS_PER_READER, f"{name}: committed reads missing"
+    assert torn == [], f"{name}: committed readers saw torn pairs {torn[:5]}"

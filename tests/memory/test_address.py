@@ -1,0 +1,54 @@
+"""Address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.address import AddressMap
+
+
+def test_line_of_strips_offset():
+    amap = AddressMap(64)
+    assert amap.line_of(0) == 0
+    assert amap.line_of(63) == 0
+    assert amap.line_of(64) == 1
+    assert amap.line_of(130) == 2
+
+
+def test_base_and_offset_roundtrip():
+    amap = AddressMap(64)
+    assert amap.base_of(3) == 192
+    assert amap.offset_of(197) == 5
+
+
+@given(st.integers(min_value=0, max_value=1 << 40))
+def test_line_base_offset_reconstruct(address):
+    amap = AddressMap(64)
+    assert amap.base_of(amap.line_of(address)) + amap.offset_of(address) == address
+
+
+def test_lines_spanning():
+    amap = AddressMap(64)
+    assert list(amap.lines_spanning(0, 64)) == [0]
+    assert list(amap.lines_spanning(60, 8)) == [0, 1]
+    assert list(amap.lines_spanning(128, 200)) == [2, 3, 4, 5]
+
+
+def test_lines_spanning_rejects_nonpositive_length():
+    with pytest.raises(ValueError):
+        AddressMap(64).lines_spanning(0, 0)
+
+
+def test_rejects_non_power_of_two_line():
+    with pytest.raises(ValueError):
+        AddressMap(48)
+
+
+def test_rejects_negative_address():
+    with pytest.raises(ValueError):
+        AddressMap(64).line_of(-1)
+
+
+def test_set_index_uses_low_bits():
+    amap = AddressMap(64)
+    assert amap.set_index(0b1011, 8) == 0b011

@@ -1,0 +1,38 @@
+"""Functional memory image."""
+
+from repro.memory.main_memory import MainMemory
+
+
+def test_default_value_is_zero():
+    memory = MainMemory()
+    assert memory.read(123456) == 0
+
+
+def test_write_then_read():
+    memory = MainMemory()
+    memory.write(8, 42)
+    assert memory.read(8) == 42
+
+
+def test_bulk_write():
+    memory = MainMemory()
+    memory.bulk_write([(0, 1), (8, 2), (16, 3)])
+    assert [memory.read(a) for a in (0, 8, 16)] == [1, 2, 3]
+
+
+def test_counters_track_traffic():
+    memory = MainMemory()
+    memory.write(0, 1)
+    memory.read(0)
+    memory.read(8)
+    assert memory.writes == 1
+    assert memory.reads == 2
+
+
+def test_snapshot_is_a_copy():
+    memory = MainMemory()
+    memory.write(0, 1)
+    snapshot = memory.snapshot()
+    snapshot[0] = 99
+    assert memory.read(0) == 1
+    assert len(memory) == 1

@@ -1,0 +1,61 @@
+"""Victim buffer semantics."""
+
+from repro.coherence.states import LineState
+from repro.memory.victim import VictimBuffer
+
+
+def test_insert_and_extract():
+    buffer = VictimBuffer(4)
+    buffer.insert(10, LineState.E)
+    assert buffer.contains(10)
+    assert buffer.extract(10) is LineState.E
+    assert not buffer.contains(10)
+
+
+def test_fifo_displacement_when_full():
+    buffer = VictimBuffer(2)
+    buffer.insert(1, LineState.S)
+    buffer.insert(2, LineState.S)
+    buffer.insert(3, LineState.S)
+    assert not buffer.contains(1)
+    assert buffer.contains(2) and buffer.contains(3)
+
+
+def test_reinsert_refreshes_age():
+    buffer = VictimBuffer(2)
+    buffer.insert(1, LineState.S)
+    buffer.insert(2, LineState.S)
+    buffer.insert(1, LineState.E)  # refresh 1, update state
+    buffer.insert(3, LineState.S)  # displaces 2, not 1
+    assert buffer.contains(1)
+    assert not buffer.contains(2)
+    assert buffer.extract(1) is LineState.E
+
+
+def test_unbounded_capacity():
+    buffer = VictimBuffer(None)
+    for address in range(1000):
+        buffer.insert(address, LineState.TMI)
+    assert len(buffer) == 1000
+
+
+def test_zero_capacity_drops_everything():
+    buffer = VictimBuffer(0)
+    buffer.insert(1, LineState.S)
+    assert len(buffer) == 0
+
+
+def test_invalid_state_not_stored():
+    buffer = VictimBuffer(4)
+    buffer.insert(1, LineState.I)
+    assert not buffer.contains(1)
+
+
+def test_invalidate_and_clear():
+    buffer = VictimBuffer(4)
+    buffer.insert(1, LineState.S)
+    buffer.insert(2, LineState.S)
+    buffer.invalidate(1)
+    assert not buffer.contains(1)
+    buffer.clear()
+    assert len(buffer) == 0

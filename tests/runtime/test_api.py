@@ -1,0 +1,91 @@
+"""TxContext / TMBackend programming-model contracts."""
+
+import pytest
+
+from repro.errors import IllegalOperation
+from repro.runtime.api import TMBackend, TxContext, work
+
+
+class RecordingBackend(TMBackend):
+    """Minimal backend that logs calls and echoes values."""
+
+    def __init__(self):
+        self.calls = []
+        self.store = {}
+
+    def begin(self, thread):
+        self.calls.append("begin")
+        return
+        yield
+
+    def read(self, thread, address):
+        self.calls.append(("read", address))
+        yield ("work", 1)
+        return self.store.get(address, 0)
+
+    def write(self, thread, address, value):
+        self.calls.append(("write", address, value))
+        self.store[address] = value
+        yield ("work", 1)
+
+    def commit(self, thread):
+        self.calls.append("commit")
+        return
+        yield
+
+
+def _drain(generator):
+    results = []
+    try:
+        while True:
+            results.append(generator.send(None))
+    except StopIteration as stop:
+        return results, stop.value
+
+
+def test_context_routes_to_backend():
+    backend = RecordingBackend()
+    ctx = TxContext(backend, thread=object())
+    ops, _ = _drain(ctx.write(8, 42))
+    assert ops == [("work", 1)]
+    ops, value = _drain(ctx.read(8))
+    assert value == 42
+    assert ("read", 8) in backend.calls
+
+
+def test_context_work_emits_op():
+    ctx = TxContext(RecordingBackend(), thread=None)
+    ops, _ = _drain(ctx.work(10))
+    assert ops == [("work", 10)]
+
+
+def test_context_zero_work_is_silent():
+    ctx = TxContext(RecordingBackend(), thread=None)
+    ops, _ = _drain(ctx.work(0))
+    assert ops == []
+
+
+def test_context_negative_work_rejected():
+    ctx = TxContext(RecordingBackend(), thread=None)
+    with pytest.raises(IllegalOperation):
+        _drain(ctx.work(-1))
+
+
+def test_module_level_work_helper():
+    ops, _ = _drain(work(7))
+    assert ops == [("work", 7)]
+
+
+def test_backend_defaults():
+    backend = TMBackend()
+    assert backend.check_aborted(None) is False
+    assert backend.suspend(None) is None
+    assert backend.resume(None, 0, None) is None
+    assert _drain(backend.on_abort(None))[0] == []
+    for method in (backend.begin, backend.commit):
+        with pytest.raises(NotImplementedError):
+            _drain(method(None))
+    with pytest.raises(NotImplementedError):
+        _drain(backend.read(None, 0))
+    with pytest.raises(NotImplementedError):
+        _drain(backend.write(None, 0, 0))

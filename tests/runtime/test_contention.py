@@ -1,0 +1,59 @@
+"""Contention managers."""
+
+from repro.runtime.contention import (
+    AggressiveManager,
+    Decision,
+    PolkaManager,
+    TimidManager,
+    TimestampManager,
+)
+from repro.sim.rng import DeterministicRng
+
+
+def test_polka_waits_then_aborts_enemy():
+    manager = PolkaManager(DeterministicRng(1), max_attempts=4)
+    # Enemy much richer: budget capped at max_attempts.
+    rulings = [manager.decide(attempt, my_karma=0, enemy_karma=100) for attempt in range(6)]
+    assert all(r.decision is Decision.WAIT for r in rulings[:4])
+    assert rulings[4].decision is Decision.ABORT_ENEMY
+
+
+def test_polka_aborts_sooner_with_higher_karma():
+    manager = PolkaManager(DeterministicRng(1))
+    # My karma dominates: only the single mandatory wait.
+    assert manager.decide(0, my_karma=50, enemy_karma=1).decision is Decision.WAIT
+    assert manager.decide(1, my_karma=50, enemy_karma=1).decision is Decision.ABORT_ENEMY
+
+
+def test_polka_backoff_grows_exponentially():
+    manager = PolkaManager(DeterministicRng(1), base_backoff=16)
+    early = [manager.decide(0, 0, 100).backoff_cycles for _ in range(50)]
+    late = [manager.decide(5, 0, 100).backoff_cycles for _ in range(50)]
+    assert max(late) > max(early)
+    assert all(b >= 1 for b in early + late)
+
+
+def test_aggressive_always_wounds():
+    manager = AggressiveManager()
+    assert manager.decide(0, 0, 100).decision is Decision.ABORT_ENEMY
+
+
+def test_timid_always_self_aborts():
+    manager = TimidManager()
+    assert manager.decide(0, 100, 0).decision is Decision.ABORT_SELF
+
+
+def test_timestamp_priority():
+    manager = TimestampManager(DeterministicRng(1), max_attempts=2)
+    assert manager.decide(0, my_karma=10, enemy_karma=5).decision is Decision.ABORT_ENEMY
+    assert manager.decide(0, my_karma=1, enemy_karma=5).decision is Decision.WAIT
+    assert manager.decide(2, my_karma=1, enemy_karma=5).decision is Decision.ABORT_SELF
+
+
+def test_retry_backoff_bounded_and_growing():
+    manager = PolkaManager(DeterministicRng(2))
+    small = max(manager.retry_backoff(1) for _ in range(50))
+    large = max(manager.retry_backoff(8) for _ in range(50))
+    assert small <= 32
+    assert large <= (1 << 8) * 16
+    assert large > small

@@ -1,0 +1,123 @@
+"""Subsumption nesting and transactional pause (Section 3.5)."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.core.tsw import TxStatus
+from repro.errors import TransactionAborted
+from repro.params import small_test_params
+from repro.runtime.api import TxContext
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.txthread import TxThread
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _thread(runtime, thread_id, proc):
+    thread = TxThread(thread_id, runtime, iter(()))
+    thread.processor = proc
+    return thread
+
+
+def test_inner_commit_does_not_publish(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = _thread(runtime, 0, 0)
+    address = m.allocate_words(1)
+    drive(m, 0, runtime.begin(thread))  # outer
+    drive(m, 0, runtime.begin(thread))  # inner (subsumed)
+    drive(m, 0, runtime.write(thread, address, 7))
+    drive(m, 0, runtime.commit(thread))  # inner commit: flattened, no-op
+    assert m.memory.read(address) == 0  # still speculative
+    assert m.read_status(thread.descriptor) is TxStatus.ACTIVE
+    drive(m, 0, runtime.commit(thread))  # outer commit publishes
+    assert m.memory.read(address) == 7
+    assert thread.nest_depth == 0
+
+
+def test_nested_begin_reuses_outer_descriptor(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = _thread(runtime, 0, 0)
+    drive(m, 0, runtime.begin(thread))
+    outer_incarnation = thread.descriptor.incarnation
+    drive(m, 0, runtime.begin(thread))
+    assert thread.descriptor.incarnation == outer_incarnation
+    assert thread.nest_depth == 2
+    drive(m, 0, runtime.commit(thread))
+    drive(m, 0, runtime.commit(thread))
+
+
+def test_abort_unwinds_whole_nest(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = _thread(runtime, 0, 0)
+    address = m.allocate_words(1)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.write(thread, address, 7))
+    m.memory.write(thread.descriptor.tsw_address, TxStatus.ABORTED)
+    with pytest.raises(TransactionAborted):
+        drive(m, 0, runtime.commit(thread))  # inner commit ok, outer raises?
+        drive(m, 0, runtime.commit(thread))
+    drive(m, 0, runtime.on_abort(thread))
+    assert thread.nest_depth == 0
+    assert m.memory.read(address) == 0
+
+
+def test_deep_nesting(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = _thread(runtime, 0, 0)
+    address = m.allocate_words(1)
+    for _ in range(5):
+        drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.write(thread, address, 3))
+    for _ in range(4):
+        drive(m, 0, runtime.commit(thread))
+    assert m.memory.read(address) == 0
+    drive(m, 0, runtime.commit(thread))
+    assert m.memory.read(address) == 3
+
+
+def test_paused_write_is_immediate_and_survives_abort(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = _thread(runtime, 0, 0)
+    ctx = TxContext(runtime, thread)
+    tx_address = m.allocate_words(1, line_aligned=True)
+    meta_address = m.allocate_words(1, line_aligned=True)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.write(thread, tx_address, 9))
+    drive(m, 0, ctx.paused_write(meta_address, 42))
+    assert m.memory.read(meta_address) == 42  # visible immediately
+    m.memory.write(thread.descriptor.tsw_address, TxStatus.ABORTED)
+    drive(m, 0, runtime.on_abort(thread))
+    assert m.memory.read(tx_address) == 0  # transactional write rolled back
+    assert m.memory.read(meta_address) == 42  # paused write persists
+
+
+def test_paused_read_sees_committed_not_speculative(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = _thread(runtime, 0, 0)
+    ctx = TxContext(runtime, thread)
+    address = m.allocate_words(1, line_aligned=True)
+    m.memory.write(address, 5)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.write(thread, address, 9))
+    # A paused read bypasses the overlay: it sees the committed value.
+    assert drive(m, 0, ctx.paused_read(address)) == 5
+    drive(m, 0, runtime.commit(thread))
+    assert drive(m, 0, ctx.paused_read(address)) == 9
+
+
+def test_paused_ops_do_not_touch_signatures(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = _thread(runtime, 0, 0)
+    ctx = TxContext(runtime, thread)
+    address = m.allocate_words(1, line_aligned=True)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, ctx.paused_read(address))
+    line = m.amap.line_of(address)
+    assert not m.processors[0].rsig.member(line)
+    drive(m, 0, runtime.commit(thread))

@@ -1,0 +1,135 @@
+"""Scheduler: timing-driven stepping, retries, quantum switches."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.errors import SchedulerError
+from repro.params import small_test_params
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import RunResult, Scheduler
+from repro.runtime.txthread import TxThread, WorkItem
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _counter_items(counter_address, count=None, work_cycles=0):
+    def increment(ctx):
+        value = yield from ctx.read(counter_address)
+        if work_cycles:
+            yield from ctx.work(work_cycles)
+        yield from ctx.write(counter_address, value + 1)
+
+    def stream():
+        produced = 0
+        while count is None or produced < count:
+            produced += 1
+            yield WorkItem(increment)
+
+    return stream()
+
+
+def test_finite_workload_completes(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    counter = m.allocate_words(1, line_aligned=True)
+    threads = [TxThread(0, runtime, _counter_items(counter, count=10))]
+    result = Scheduler(m, threads).run(cycle_limit=10_000_000)
+    assert result.commits == 10
+    assert m.memory.read(counter) == 10
+
+
+def test_cycle_limit_stops_infinite_streams(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    counter = m.allocate_words(1, line_aligned=True)
+    threads = [TxThread(i, runtime, _counter_items(counter)) for i in range(2)]
+    result = Scheduler(m, threads).run(cycle_limit=30_000)
+    assert result.cycles <= 30_000
+    assert result.commits > 0
+    assert m.memory.read(counter) == result.commits
+
+
+def test_throughput_metric(m):
+    result = RunResult(
+        cycles=1_000_000, commits=500, aborts=10, nontx_items=0,
+        per_thread=[], stats={}, conflict_degrees=[],
+    )
+    assert result.throughput == 500.0
+    assert 0 < result.abort_ratio < 0.05
+
+
+def test_more_threads_than_processors_context_switches(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    counter = m.allocate_words(1, line_aligned=True)
+    # 8 threads on a 4-core machine with a small quantum; each
+    # transaction is long enough that quanta expire mid-stream.
+    threads = [
+        TxThread(i, runtime, _counter_items(counter, count=5, work_cycles=400))
+        for i in range(8)
+    ]
+    scheduler = Scheduler(m, threads, quantum=1_000)
+    result = scheduler.run(cycle_limit=50_000_000)
+    assert result.commits == 40
+    assert m.memory.read(counter) == 40
+    assert result.stats.get("ctxsw.switches", 0) > 0
+
+
+def test_transaction_survives_descheduling_on_same_core(m):
+    """A mid-transaction thread switched out and back in (same core,
+    nothing conflicting meanwhile) must commit successfully."""
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    data = m.allocate_words(1, line_aligned=True)
+
+    def long_transaction(ctx):
+        value = yield from ctx.read(data)
+        for _ in range(50):
+            yield from ctx.work(100)
+        yield from ctx.write(data, value + 1)
+
+    def one(body):
+        yield WorkItem(body)
+
+    threads = [
+        TxThread(0, runtime, one(long_transaction)),
+        TxThread(1, runtime, one(long_transaction)),
+    ]
+    # One core only: forces suspends mid-transaction.
+    scheduler = Scheduler(m, threads, quantum=1_500, processors=[0])
+    result = scheduler.run(cycle_limit=10_000_000)
+    assert result.commits == 2
+    assert m.memory.read(data) == 2
+
+
+def test_empty_thread_list_rejected(m):
+    with pytest.raises(SchedulerError):
+        Scheduler(m, [])
+
+
+def test_bad_cycle_limit_rejected(m):
+    runtime = FlexTMRuntime(m)
+    threads = [TxThread(0, runtime, iter(()))]
+    with pytest.raises(SchedulerError):
+        Scheduler(m, threads).run(cycle_limit=0)
+
+
+def test_per_thread_stats_reported(m):
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    counter = m.allocate_words(1, line_aligned=True)
+    threads = [TxThread(i, runtime, _counter_items(counter, count=3)) for i in range(2)]
+    result = Scheduler(m, threads).run(cycle_limit=10_000_000)
+    assert sorted(entry["thread_id"] for entry in result.per_thread) == [0, 1]
+    assert sum(entry["commits"] for entry in result.per_thread) == 6
+
+
+def test_determinism_same_seed_same_outcome(m):
+    def run_once():
+        machine = FlexTMMachine(small_test_params(4))
+        runtime = FlexTMRuntime(machine, mode=ConflictMode.LAZY)
+        counter = machine.allocate_words(1, line_aligned=True)
+        threads = [TxThread(i, runtime, _counter_items(counter)) for i in range(4)]
+        result = Scheduler(machine, threads).run(cycle_limit=40_000)
+        return result.commits, result.aborts, machine.memory.read(counter)
+
+    assert run_once() == run_once()

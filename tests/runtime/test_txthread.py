@@ -1,0 +1,120 @@
+"""TxThread retry loop behaviour."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.runtime.api import TMBackend
+from repro.runtime.txthread import TxThread, WorkItem
+
+
+class ScriptedBackend(TMBackend):
+    """Commits succeed only after a scripted number of aborts."""
+
+    def __init__(self, aborts_before_success=0):
+        self.aborts_remaining = aborts_before_success
+        self.events = []
+
+    def begin(self, thread):
+        self.events.append("begin")
+        yield ("work", 1)
+
+    def read(self, thread, address):
+        yield ("work", 1)
+        return 0
+
+    def write(self, thread, address, value):
+        yield ("work", 1)
+
+    def commit(self, thread):
+        yield ("work", 1)
+        if self.aborts_remaining > 0:
+            self.aborts_remaining -= 1
+            raise TransactionAborted("scripted")
+        self.events.append("commit")
+
+    def on_abort(self, thread):
+        self.events.append("on_abort")
+        yield ("work", 1)
+
+    def retry_backoff(self, aborts_in_a_row):
+        return 0
+
+
+def _drain(generator):
+    ops = []
+    try:
+        while True:
+            ops.append(generator.send(None))
+    except StopIteration:
+        return ops
+
+
+def _body(ctx):
+    yield from ctx.read(0)
+    yield from ctx.write(0, 1)
+
+
+def test_clean_run_commits_once():
+    backend = ScriptedBackend()
+    thread = TxThread(0, backend, iter([WorkItem(_body)]))
+    _drain(thread.run())
+    assert thread.commits == 1
+    assert thread.aborts == 0
+    assert backend.events == ["begin", "commit"]
+
+
+def test_retries_until_commit():
+    backend = ScriptedBackend(aborts_before_success=3)
+    thread = TxThread(0, backend, iter([WorkItem(_body)]))
+    _drain(thread.run())
+    assert thread.commits == 1
+    assert thread.aborts == 3
+    assert backend.events.count("begin") == 4
+    assert backend.events.count("on_abort") == 3
+    assert backend.events[-1] == "commit"
+
+
+def test_in_transaction_flag_tracks_lifecycle():
+    backend = ScriptedBackend()
+    thread = TxThread(0, backend, iter([WorkItem(_body)]))
+    generator = thread.run()
+    next(generator)  # inside begin
+    assert thread.in_transaction
+    _drain(generator)
+    assert not thread.in_transaction
+
+
+def test_nontransactional_items_bypass_begin_commit():
+    backend = ScriptedBackend()
+
+    def nontx(ctx):
+        yield ("work", 5)
+
+    thread = TxThread(0, backend, iter([WorkItem(nontx, transactional=False)]))
+    ops = _drain(thread.run())
+    assert ops == [("work", 5)]
+    assert thread.nontx_items == 1
+    assert backend.events == []
+
+
+def test_yield_on_abort_emits_yield_cpu():
+    backend = ScriptedBackend(aborts_before_success=1)
+    thread = TxThread(0, backend, iter([WorkItem(_body)]), yield_on_abort=True)
+    ops = _drain(thread.run())
+    assert ("yield_cpu",) in ops
+    assert thread.commits == 1
+
+
+def test_abort_thrown_mid_body_is_caught():
+    class WoundingBackend(ScriptedBackend):
+        def read(self, thread, address):
+            yield ("work", 1)
+            if not self.events.count("on_abort"):
+                raise TransactionAborted("mid-body wound")
+            return 0
+
+    backend = WoundingBackend()
+    thread = TxThread(0, backend, iter([WorkItem(_body)]))
+    _drain(thread.run())
+    assert thread.aborts == 1
+    assert thread.commits == 1

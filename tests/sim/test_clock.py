@@ -1,0 +1,40 @@
+"""CycleClock semantics."""
+
+import pytest
+
+from repro.sim.clock import CycleClock
+
+
+def test_starts_at_zero():
+    assert CycleClock().now == 0
+
+
+def test_advance_accumulates():
+    clock = CycleClock()
+    clock.advance(5)
+    clock.advance(7)
+    assert clock.now == 12
+
+
+def test_advance_zero_is_noop():
+    clock = CycleClock(3)
+    assert clock.advance(0) == 3
+
+
+def test_negative_advance_rejected():
+    clock = CycleClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        CycleClock(-5)
+
+
+def test_advance_to_only_moves_forward():
+    clock = CycleClock(10)
+    clock.advance_to(20)
+    assert clock.now == 20
+    clock.advance_to(5)
+    assert clock.now == 20

@@ -1,0 +1,82 @@
+"""Counters, histograms, and the registry."""
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsRegistry
+
+
+def test_counter_increments():
+    counter = Counter("x")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").increment(-1)
+
+
+def test_counter_reset():
+    counter = Counter("x")
+    counter.increment(9)
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_histogram_order_statistics():
+    histogram = Histogram("h")
+    for sample in [5, 1, 9, 3, 7]:
+        histogram.record(sample)
+    assert histogram.minimum == 1
+    assert histogram.maximum == 9
+    assert histogram.median == 5
+    assert histogram.count == 5
+    assert histogram.total == 25
+    assert histogram.mean == 5.0
+
+
+def test_histogram_empty_defaults():
+    histogram = Histogram("h")
+    assert histogram.median == 0
+    assert histogram.maximum == 0
+    assert histogram.mean == 0.0
+
+
+def test_percentile_bounds_checked():
+    histogram = Histogram("h")
+    histogram.record(1)
+    with pytest.raises(ValueError):
+        histogram.percentile(1.5)
+
+
+def test_percentile_extremes():
+    histogram = Histogram("h")
+    for sample in range(1, 101):
+        histogram.record(sample)
+    assert histogram.percentile(0.0) == 1
+    assert histogram.percentile(1.0) == 100
+
+
+def test_registry_creates_and_caches():
+    registry = StatsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.histogram("b") is registry.histogram("b")
+
+
+def test_registry_snapshot_includes_both_kinds():
+    registry = StatsRegistry()
+    registry.counter("events").increment(3)
+    registry.histogram("sizes").record(10)
+    snapshot = registry.snapshot()
+    assert snapshot["events"] == 3
+    assert snapshot["sizes.count"] == 1
+
+
+def test_registry_reset_clears_everything():
+    registry = StatsRegistry()
+    registry.counter("events").increment(3)
+    registry.histogram("sizes").record(10)
+    registry.reset()
+    assert registry.counter("events").value == 0
+    assert registry.histogram("sizes").count == 0

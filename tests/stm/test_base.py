@@ -1,0 +1,72 @@
+"""Shared STM plumbing: lock tables and thread state."""
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.stm.base import (
+    LockTable,
+    StmThreadState,
+    encode_locked,
+    encode_version,
+    is_locked,
+    version_of,
+)
+
+
+@pytest.fixture
+def machine():
+    return FlexTMMachine(small_test_params(2))
+
+
+def test_orec_addresses_are_in_table(machine):
+    table = LockTable(machine, num_orecs=256)
+    for address in (0, 64, 1 << 20, 12345678):
+        orec = table.orec_address(address)
+        assert table.base <= orec < table.base + 256 * 8
+        assert orec % 8 == 0
+
+
+def test_same_line_same_orec(machine):
+    table = LockTable(machine, num_orecs=256)
+    assert table.orec_address(0x1000) == table.orec_address(0x1008)
+    assert table.orec_address(0x1000) == table.orec_address(0x103F)
+
+
+def test_neighbouring_lines_spread(machine):
+    table = LockTable(machine, num_orecs=1024)
+    orecs = {table.orec_address(line * 64) for line in range(512)}
+    # The multiplicative hash should spread lines widely.
+    assert len(orecs) > 300
+
+
+def test_shape_validation(machine):
+    with pytest.raises(ValueError):
+        LockTable(machine, num_orecs=100)
+
+
+def test_lock_word_encoding_roundtrip():
+    for version in (0, 1, 7, 123456):
+        word = encode_version(version)
+        assert not is_locked(word)
+        assert version_of(word) == version
+    locked = encode_locked(9)
+    assert is_locked(locked)
+    assert locked >> 1 == 9
+
+
+def test_thread_state_write_orec_dedup():
+    state = StmThreadState()
+    orec = 4096
+    assert state.note_write_orec(orec) is True
+    assert state.note_write_orec(orec) is False
+    assert state.write_orecs == [orec]
+
+
+def test_thread_state_reset():
+    state = StmThreadState()
+    state.read_set.append((1, 2))
+    state.write_map[8] = 9
+    state.note_write_orec(16)
+    state.reset()
+    assert state.read_set == [] and state.write_map == {} and state.write_orecs == []

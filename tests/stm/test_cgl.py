@@ -1,0 +1,81 @@
+"""Coarse-grain lock baseline."""
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread, WorkItem
+from repro.stm.cgl import CglRuntime, LOCK_FREE, LOCK_HELD
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_begin_acquires_commit_releases(m):
+    runtime = CglRuntime(m)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    drive(m, 0, runtime.begin(thread))
+    assert m.memory.read(runtime.lock_address) == LOCK_HELD
+    drive(m, 0, runtime.commit(thread))
+    assert m.memory.read(runtime.lock_address) == LOCK_FREE
+
+
+def test_reads_and_writes_are_plain(m):
+    runtime = CglRuntime(m)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    address = m.allocate_words(1)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.write(thread, address, 5))
+    assert m.memory.read(address) == 5  # visible immediately (no buffering)
+    assert drive(m, 0, runtime.read(thread, address)) == 5
+    drive(m, 0, runtime.commit(thread))
+
+
+def test_mutual_exclusion_under_contention(m):
+    runtime = CglRuntime(m)
+    counter = m.allocate_words(1, line_aligned=True)
+
+    def increment(ctx):
+        value = yield from ctx.read(counter)
+        yield from ctx.work(10)
+        yield from ctx.write(counter, value + 1)
+
+    def items(count):
+        for _ in range(count):
+            yield WorkItem(increment)
+
+    threads = [TxThread(i, runtime, items(25)) for i in range(4)]
+    result = Scheduler(m, threads).run(cycle_limit=10_000_000)
+    assert result.commits == 100
+    assert result.aborts == 0  # CGL never aborts
+    assert m.memory.read(counter) == 100
+
+
+def test_serializes_with_many_threads(m):
+    """CGL throughput must not scale (the flat curves of Figure 4)."""
+    def run(nthreads):
+        machine = FlexTMMachine(small_test_params(4))
+        runtime = CglRuntime(machine)
+        counter = machine.allocate_words(1, line_aligned=True)
+
+        def increment(ctx):
+            value = yield from ctx.read(counter)
+            yield from ctx.work(50)
+            yield from ctx.write(counter, value + 1)
+
+        def items():
+            while True:
+                yield WorkItem(increment)
+
+        threads = [TxThread(i, runtime, items()) for i in range(nthreads)]
+        return Scheduler(machine, threads).run(cycle_limit=100_000).commits
+
+    single = run(1)
+    quad = run(4)
+    assert quad <= single * 1.3  # no speedup from extra threads

@@ -1,0 +1,80 @@
+"""RTM-F: FlexTM assists + software metadata bookkeeping."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.core.tsw import TxStatus
+from repro.params import small_test_params
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.txthread import TxThread
+from repro.stm.rtmf import RtmfRuntime
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _thread(runtime, thread_id, proc):
+    thread = TxThread(thread_id, runtime, iter(()))
+    thread.processor = proc
+    return thread
+
+
+def test_roundtrip_commits_values(m):
+    runtime = RtmfRuntime(m)
+    thread = _thread(runtime, 0, 0)
+    address = m.allocate_words(1)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.write(thread, address, 7))
+    assert drive(m, 0, runtime.read(thread, address)) == 7
+    drive(m, 0, runtime.commit(thread))
+    assert m.memory.read(address) == 7
+
+
+def test_rtmf_slower_than_flextm_per_access(m):
+    """The metadata bookkeeping must cost real cycles vs plain FlexTM."""
+    address = m.allocate_words(1)
+
+    def measure(runtime_cls):
+        machine = FlexTMMachine(small_test_params(4))
+        runtime = runtime_cls(machine)
+        thread = _thread(runtime, 0, 0)
+        target = machine.allocate_words(1)
+        drive(machine, 0, runtime.begin(thread))
+        for _ in range(20):
+            drive(machine, 0, runtime.read(thread, target))
+            drive(machine, 0, runtime.write(thread, target, 1))
+        drive(machine, 0, runtime.commit(thread))
+        return machine.processors[0].clock.now
+
+    flextm_cycles = measure(FlexTMRuntime)
+    rtmf_cycles = measure(RtmfRuntime)
+    assert rtmf_cycles > flextm_cycles * 1.5
+
+
+def test_header_version_bumped_at_commit(m):
+    runtime = RtmfRuntime(m)
+    thread = _thread(runtime, 0, 0)
+    address = m.allocate_words(1)
+    header = runtime.headers.orec_address(address)
+    before = m.memory.read(header)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, runtime.write(thread, address, 7))
+    drive(m, 0, runtime.commit(thread))
+    assert m.memory.read(header) > before
+
+
+def test_conflicts_still_handled_by_flextm_mechanisms(m):
+    runtime = RtmfRuntime(m, mode=ConflictMode.LAZY)
+    writer = _thread(runtime, 0, 0)
+    reader = _thread(runtime, 1, 1)
+    address = m.allocate_words(1)
+    drive(m, 0, runtime.begin(writer))
+    drive(m, 1, runtime.begin(reader))
+    drive(m, 0, runtime.write(writer, address, 5))
+    drive(m, 1, runtime.read(reader, address))
+    drive(m, 0, runtime.commit(writer))
+    assert m.read_status(reader.descriptor) is TxStatus.ABORTED

@@ -1,0 +1,56 @@
+"""SystemParams validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import CacheGeometry, SystemParams, small_test_params
+
+
+def test_default_params_match_table3a():
+    params = SystemParams()
+    assert params.num_processors == 16
+    assert params.l1.size_bytes == 32 * 1024
+    assert params.l1.associativity == 2
+    assert params.line_bytes == 64
+    assert params.l2.size_bytes == 8 * 1024 * 1024
+    assert params.victim_buffer_entries == 32
+    assert params.signature_bits == 2048
+    assert params.l2_hit_cycles == 20
+    assert params.memory_cycles == 250
+
+
+def test_geometry_derived_values():
+    geometry = CacheGeometry(size_bytes=32 * 1024, associativity=2, line_bytes=64)
+    assert geometry.num_lines == 512
+    assert geometry.num_sets == 256
+
+
+def test_geometry_validation():
+    with pytest.raises(ConfigurationError):
+        CacheGeometry(size_bytes=1000, associativity=2, line_bytes=64)
+    with pytest.raises(ConfigurationError):
+        CacheGeometry(size_bytes=64, associativity=2, line_bytes=64)
+
+
+def test_params_validation():
+    with pytest.raises(ConfigurationError):
+        SystemParams(num_processors=0)
+    with pytest.raises(ConfigurationError):
+        SystemParams(signature_bits=1000)
+    with pytest.raises(ConfigurationError):
+        SystemParams(
+            l1=CacheGeometry(1024, 2, 64),
+            l2=CacheGeometry(65536, 8, 128),  # mismatched line size
+        )
+    with pytest.raises(ConfigurationError):
+        SystemParams(memory_cycles=0)
+
+
+def test_offset_bits():
+    assert SystemParams().offset_bits == 6
+
+
+def test_small_test_params_are_valid_and_small():
+    params = small_test_params(4)
+    assert params.num_processors == 4
+    assert params.l1.num_lines < SystemParams().l1.num_lines

@@ -1,0 +1,57 @@
+"""BugBench programs and the Table 4(b) bands."""
+
+import pytest
+
+from repro.tools.bugbench import BUGBENCH, run_program
+from repro.tools.discover import DiscoverInstrumenter
+from repro.harness.table4 import PUBLISHED_TABLE4, run_table4
+
+
+def test_all_programs_detect_their_bug():
+    for name, program in BUGBENCH.items():
+        report = run_program(program)
+        assert report.bugs_detected > 0, f"{name} missed its bug"
+
+
+def test_runs_are_deterministic():
+    report_a = run_program(BUGBENCH["BC-BO"], seed=7)
+    report_b = run_program(BUGBENCH["BC-BO"], seed=7)
+    assert report_a.cycles == report_b.cycles
+    assert report_a.alerts == report_b.alerts
+
+
+def test_slowdowns_land_in_paper_bands():
+    """FlexWatcher: 5%-2.5x; within 40% of each published number."""
+    results = run_table4()
+    for name, data in results.items():
+        published = PUBLISHED_TABLE4[name]["flexwatcher"]
+        assert 1.0 <= data["flexwatcher"] < 3.5
+        assert abs(data["flexwatcher"] - published) / published < 0.4, name
+
+
+def test_discover_much_slower_than_flexwatcher():
+    discover = DiscoverInstrumenter()
+    for name, program in BUGBENCH.items():
+        slowdown = discover.slowdown(program)
+        if slowdown is None:
+            assert PUBLISHED_TABLE4[name]["discover"] is None
+            continue
+        report = run_program(program)
+        assert slowdown > 10 * report.slowdown, name
+
+
+def test_discover_matches_published_order_of_magnitude():
+    discover = DiscoverInstrumenter()
+    for name, program in BUGBENCH.items():
+        published = PUBLISHED_TABLE4[name]["discover"]
+        modeled = discover.slowdown(program)
+        if published is None:
+            assert modeled is None
+        else:
+            assert abs(modeled - published) / published < 0.3, name
+
+
+def test_unmonitored_run_has_no_alerts():
+    report = run_program(BUGBENCH["BC-BO"], monitored=False)
+    assert report.alerts == 0
+    assert report.slowdown == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,86 @@
+"""FlexWatcher mechanics."""
+
+import pytest
+
+from repro.tools.flexwatcher import (
+    ACTION_CYCLES,
+    HANDLER_CYCLES,
+    FlexWatcher,
+    WatchMode,
+)
+
+
+def test_inactive_watcher_costs_nothing_extra():
+    watcher = FlexWatcher(WatchMode.BUFFER_OVERFLOW)
+    watcher.watch(0x1000, 64)
+    label = watcher.access(0x1000, is_write=True)
+    assert label is None  # not activated
+    assert watcher.alerts == 0
+
+
+def test_bo_detects_pad_write():
+    watcher = FlexWatcher(WatchMode.BUFFER_OVERFLOW)
+    watcher.watch(0x1000, 64)
+    watcher.activate()
+    assert watcher.access(0x1008, is_write=True) == "buffer-overflow"
+    assert watcher.bugs_detected == 1
+
+
+def test_bo_ignores_reads_of_pads():
+    """Pads are watched for *modification* only."""
+    watcher = FlexWatcher(WatchMode.BUFFER_OVERFLOW)
+    watcher.watch(0x1000, 64)
+    watcher.activate()
+    assert watcher.access(0x1000, is_write=False) is None
+    assert watcher.alerts == 0
+
+
+def test_unwatched_access_is_free():
+    watcher = FlexWatcher(WatchMode.BUFFER_OVERFLOW)
+    watcher.watch(0x1000, 64)
+    watcher.activate()
+    before = watcher.clock.now
+    watcher.access(0x900000, is_write=True)
+    assert watcher.clock.now == before + 1  # just the access cycle
+
+
+def test_alert_costs_handler_cycles():
+    watcher = FlexWatcher(WatchMode.BUFFER_OVERFLOW)
+    watcher.watch(0x1000, 64)
+    watcher.activate()
+    before = watcher.clock.now
+    watcher.access(0x1000, is_write=True)
+    assert watcher.clock.now == before + 1 + HANDLER_CYCLES + ACTION_CYCLES
+
+
+def test_iv_mode_is_precise():
+    """AOU-based invariants never suffer signature aliasing."""
+    watcher = FlexWatcher(WatchMode.INVARIANT)
+    watcher.watch(0x2000, 8)
+    watcher.activate()
+    assert watcher.access(0x2000, is_write=False) == "invariant-violation"
+    # Saturate the signatures; IV must still not false-alert.
+    for address in range(0, 1 << 16, 64):
+        watcher.rsig.insert(address >> 6)
+    watcher.access(0x50000, is_write=False)
+    assert watcher.false_alerts == 0
+
+
+def test_ml_mode_tracks_timestamps_and_finds_stale():
+    watcher = FlexWatcher(WatchMode.MEMORY_LEAK)
+    watcher.watch(0x1000, 64)  # touched object
+    watcher.watch(0x9000, 64)  # never touched -> leak candidate
+    watcher.activate()
+    watcher.clock.advance(10_000)
+    assert watcher.access(0x1000, is_write=False) is None  # a touch, not a bug
+    stale = watcher.stale_objects(horizon_cycles=5_000)
+    assert 0x9000 >> 6 in stale
+    assert 0x1000 >> 6 not in stale
+
+
+def test_clear_deactivates():
+    watcher = FlexWatcher(WatchMode.BUFFER_OVERFLOW)
+    watcher.watch(0x1000, 64)
+    watcher.activate()
+    watcher.clear()
+    assert watcher.access(0x1000, is_write=True) is None

@@ -1,0 +1,92 @@
+"""RecordingBackend decorator behaviour."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.core.tsw import TxStatus
+from repro.params import small_test_params
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.txthread import TxThread
+from repro.verify.history import RecordingBackend
+from tests.helpers import drive
+
+
+@pytest.fixture
+def rig():
+    machine = FlexTMMachine(small_test_params(4))
+    backend = RecordingBackend(FlexTMRuntime(machine, mode=ConflictMode.LAZY))
+    thread = TxThread(0, backend, iter(()))
+    thread.processor = 0
+    return machine, backend, thread
+
+
+def test_committed_transaction_recorded(rig):
+    machine, backend, thread = rig
+    address = machine.allocate_words(1)
+    machine.memory.write(address, 3)
+    backend.recorder.note_initial(address, 3)
+    drive(machine, 0, backend.begin(thread))
+    assert drive(machine, 0, backend.read(thread, address)) == 3
+    drive(machine, 0, backend.write(thread, address, 9))
+    drive(machine, 0, backend.commit(thread))
+    assert len(backend.recorder.committed) == 1
+    txn = backend.recorder.committed[0]
+    assert txn.reads == {address: 3}
+    assert txn.writes == {address: 9}
+    assert txn.thread_id == 0
+
+
+def test_aborted_attempt_not_recorded(rig):
+    machine, backend, thread = rig
+    address = machine.allocate_words(1)
+    drive(machine, 0, backend.begin(thread))
+    drive(machine, 0, backend.write(thread, address, 9))
+    machine.memory.write(thread.descriptor.tsw_address, TxStatus.ABORTED)
+    drive(machine, 0, backend.on_abort(thread))
+    assert backend.recorder.committed == []
+
+
+def test_read_after_own_write_not_logged_as_read(rig):
+    machine, backend, thread = rig
+    address = machine.allocate_words(1)
+    drive(machine, 0, backend.begin(thread))
+    drive(machine, 0, backend.write(thread, address, 9))
+    assert drive(machine, 0, backend.read(thread, address)) == 9
+    drive(machine, 0, backend.commit(thread))
+    txn = backend.recorder.committed[0]
+    assert address not in txn.reads  # it observed its own write
+
+
+def test_only_first_read_recorded(rig):
+    machine, backend, thread = rig
+    address = machine.allocate_words(1)
+    machine.memory.write(address, 5)
+    drive(machine, 0, backend.begin(thread))
+    drive(machine, 0, backend.read(thread, address))
+    drive(machine, 0, backend.read(thread, address))
+    drive(machine, 0, backend.commit(thread))
+    assert backend.recorder.committed[0].reads == {address: 5}
+
+
+def test_tickets_are_commit_ordered(rig):
+    machine, backend, thread = rig
+    address = machine.allocate_words(1)
+    for _ in range(3):
+        drive(machine, 0, backend.begin(thread))
+        drive(machine, 0, backend.write(thread, address, 1))
+        drive(machine, 0, backend.commit(thread))
+    tickets = [txn.ticket for txn in backend.recorder.committed]
+    assert tickets == sorted(tickets) == [1, 2, 3]
+
+
+def test_name_reflects_inner(rig):
+    _, backend, _ = rig
+    assert "FlexTM" in backend.name
+
+
+def test_delegation_of_runtime_hooks(rig):
+    machine, backend, thread = rig
+    assert backend.check_aborted(thread) is False
+    assert backend.retry_backoff(2) >= 0
+    assert backend.suspend(thread) is None

@@ -1,0 +1,80 @@
+"""Delaunay and Prime workloads."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.api import TxContext
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread
+from repro.workloads.delaunay import SEAM_SEGMENTS, DelaunayWorkload
+from repro.workloads.prime import PrimeWorkload
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_delaunay_items_alternate_phases(m):
+    workload = DelaunayWorkload(m, seed=1)
+    stream = workload.items(0)
+    first, second = next(stream), next(stream)
+    assert not first.transactional  # solver phase
+    assert second.transactional  # stitch phase
+
+
+def test_delaunay_mostly_nontransactional_time(m):
+    """< 5% of execution is transactional (Table 3b)."""
+    workload = DelaunayWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(2)]
+    result = Scheduler(m, threads).run(cycle_limit=100_000)
+    assert result.nontx_items >= result.commits  # phases alternate
+    assert result.commits > 0
+
+
+def test_delaunay_stitch_accumulates_counts(m):
+    workload = DelaunayWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, workload.stitch_seam(ctx, segment=3, triangles=4))
+    drive(m, 0, runtime.commit(thread))
+    segment_address = workload.seam_base + 3 * m.params.line_bytes
+    assert m.memory.read(segment_address) == 4
+    neighbor_address = workload.seam_base + 4 * m.params.line_bytes
+    assert m.memory.read(neighbor_address) == 1
+
+
+def test_prime_factorization_correct(m):
+    workload = PrimeWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    # 360 = 2^3 * 3^2 * 5 -> 6 prime factors with multiplicity.
+    factors = drive(m, 0, workload.factorize(ctx, 0, 360))
+    assert factors == 6
+    # A prime has exactly one factor.
+    assert drive(m, 0, workload.factorize(ctx, 0, 104729)) == 1
+
+
+def test_prime_items_are_nontransactional(m):
+    workload = PrimeWorkload(m, seed=1)
+    item = next(workload.items(0))
+    assert not item.transactional
+
+
+def test_prime_runs_standalone(m):
+    workload = PrimeWorkload(m, seed=3)
+    runtime = FlexTMRuntime(m)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(2)]
+    result = Scheduler(m, threads).run(cycle_limit=100_000)
+    assert result.nontx_items > 0
+    assert result.commits == 0  # purely compute-bound

@@ -1,0 +1,106 @@
+"""HashTable workload semantics."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread, WorkItem
+from repro.workloads.hashtable import KEY_RANGE, HashTableWorkload
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+@pytest.fixture
+def setup(m):
+    workload = HashTableWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    return workload, runtime, thread
+
+
+def _run_tx(m, runtime, thread, body):
+    drive(m, 0, runtime.begin(thread))
+    value = drive(m, 0, body)
+    drive(m, 0, runtime.commit(thread))
+    return value
+
+
+def test_warmup_populates_even_keys(m, setup):
+    workload, runtime, thread = setup
+    from repro.runtime.api import TxContext
+
+    ctx = TxContext(runtime, thread)
+    assert _run_tx(m, runtime, thread, workload.lookup(ctx, 10)) == 100
+    assert _run_tx(m, runtime, thread, workload.lookup(ctx, 11)) is None
+
+
+def test_insert_then_lookup_and_delete(m, setup):
+    workload, runtime, thread = setup
+    from repro.runtime.api import TxContext
+
+    ctx = TxContext(runtime, thread)
+    assert _run_tx(m, runtime, thread, workload.insert(ctx, 11, 7)) is True
+    assert _run_tx(m, runtime, thread, workload.lookup(ctx, 11)) == 7
+    assert _run_tx(m, runtime, thread, workload.delete(ctx, 11)) is True
+    assert _run_tx(m, runtime, thread, workload.lookup(ctx, 11)) is None
+
+
+def test_insert_existing_updates_value(m, setup):
+    workload, runtime, thread = setup
+    from repro.runtime.api import TxContext
+
+    ctx = TxContext(runtime, thread)
+    assert _run_tx(m, runtime, thread, workload.insert(ctx, 10, 777)) is False
+    assert _run_tx(m, runtime, thread, workload.lookup(ctx, 10)) == 777
+
+
+def test_delete_missing_returns_false(m, setup):
+    workload, runtime, thread = setup
+    from repro.runtime.api import TxContext
+
+    ctx = TxContext(runtime, thread)
+    assert _run_tx(m, runtime, thread, workload.delete(ctx, 13)) is False
+
+
+def test_items_stream_is_infinite_and_deterministic(m):
+    workload = HashTableWorkload(m, seed=5)
+    stream = workload.items(0)
+    first = [next(stream) for _ in range(10)]
+    assert all(isinstance(item, WorkItem) and item.transactional for item in first)
+    other_machine = FlexTMMachine(small_test_params(4))
+    other = HashTableWorkload(other_machine, seed=5)
+    # Streams with the same seed and thread id draw the same ops.
+    assert len(first) == len([next(other.items(0)) for _ in range(10)])
+
+
+def test_concurrent_hashtable_run_is_consistent(m):
+    """Invariant: every bucket's chain contains only keys that hash there."""
+    workload = HashTableWorkload(m, seed=3)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(4)]
+    Scheduler(m, threads).run(cycle_limit=120_000)
+    from repro.workloads.hashtable import NODE_KEY, NODE_NEXT, NUM_BUCKETS
+    from repro.workloads.base import word_address
+
+    seen_keys = set()
+    for bucket in range(NUM_BUCKETS):
+        node = m.memory.read(workload._bucket_address(bucket))
+        hops = 0
+        while node and hops < 1000:
+            key = m.memory.read(word_address(node, NODE_KEY))
+            assert key % NUM_BUCKETS == bucket
+            assert key not in seen_keys  # no duplicate live keys
+            seen_keys.add(key)
+            node = m.memory.read(word_address(node, NODE_NEXT))
+            hops += 1
+        assert hops < 1000  # no cycles
+    assert seen_keys  # table is non-empty
+    assert all(0 <= key < KEY_RANGE for key in seen_keys)

@@ -1,0 +1,77 @@
+"""KMeans extension workload."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.api import TxContext
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread
+from repro.workloads.kmeans import COORD_RANGE, KMeansWorkload
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_rejects_bad_cluster_count(m):
+    with pytest.raises(ValueError):
+        KMeansWorkload(m, num_clusters=0)
+
+
+def test_nearest_cluster_is_actually_nearest(m):
+    workload = KMeansWorkload(m, seed=1, num_clusters=8)
+    for point in [(0, 0), (500, 500), (COORD_RANGE - 1, 0)]:
+        chosen = workload.nearest_cluster(point)
+        chosen_distance = sum(
+            (a - b) ** 2 for a, b in zip(point, workload.centers[chosen])
+        )
+        for center in workload.centers:
+            assert chosen_distance <= sum((a - b) ** 2 for a, b in zip(point, center))
+
+
+def test_assign_point_accumulates(m):
+    workload = KMeansWorkload(m, seed=1, num_clusters=4)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    drive(m, 0, runtime.begin(thread))
+    drive(m, 0, workload.assign_point(ctx, 2, (10, 20)))
+    drive(m, 0, runtime.commit(thread))
+    assigned, sums = workload.totals()
+    assert assigned == 1
+    assert sums[2] == (10, 20)
+
+
+def test_concurrent_run_conserves_points(m):
+    """Every committed assignment lands in exactly one centroid."""
+    workload = KMeansWorkload(m, seed=2, num_clusters=4)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(4)]
+    result = Scheduler(m, threads).run(cycle_limit=120_000)
+    assigned, sums = workload.totals()
+    assert result.commits > 0
+    assert assigned == result.commits
+    # Coordinate sums stay within the possible range.
+    for per_cluster in sums:
+        for total in per_cluster:
+            assert 0 <= total
+
+
+def test_cluster_count_controls_contention(m):
+    """Few hot centroids conflict; many centroids scale cleanly."""
+
+    def run(num_clusters):
+        machine = FlexTMMachine(small_test_params(4))
+        workload = KMeansWorkload(machine, seed=3, num_clusters=num_clusters)
+        runtime = FlexTMRuntime(machine, mode=ConflictMode.LAZY)
+        threads = [TxThread(i, runtime, workload.items(i)) for i in range(4)]
+        result = Scheduler(machine, threads).run(cycle_limit=100_000)
+        return result.aborts / max(1, result.commits)
+
+    assert run(1) > run(64)

@@ -1,0 +1,118 @@
+"""RandomGraph workload: undirected-graph invariants."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.api import TxContext
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread
+from repro.workloads.base import word_address
+from repro.workloads.randomgraph import (
+    E_NEXT,
+    E_TARGET,
+    KEY_RANGE,
+    V_ADJ,
+    V_ID,
+    V_NEXT,
+    RandomGraphWorkload,
+)
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _vertices(m, workload):
+    """vertex_id -> record address, via an untimed list walk."""
+    out = {}
+    record = m.memory.read(workload.head_address)
+    hops = 0
+    while record and hops < 10_000:
+        vertex_id = m.memory.read(word_address(record, V_ID))
+        assert vertex_id not in out, f"duplicate vertex {vertex_id}"
+        out[vertex_id] = record
+        record = m.memory.read(word_address(record, V_NEXT))
+        hops += 1
+    assert hops < 10_000, "cycle in vertex list"
+    return out
+
+
+def _adjacency(m, record):
+    out = []
+    edge = m.memory.read(word_address(record, V_ADJ))
+    hops = 0
+    while edge and hops < 10_000:
+        out.append(m.memory.read(word_address(edge, E_TARGET)))
+        edge = m.memory.read(word_address(edge, E_NEXT))
+        hops += 1
+    assert hops < 10_000, "cycle in adjacency list"
+    return out
+
+
+def _assert_undirected(m, workload):
+    vertices = _vertices(m, workload)
+    records = set(vertices.values())
+    for vertex_id, record in vertices.items():
+        neighbors = _adjacency(m, record)
+        assert len(neighbors) == len(set(neighbors)), "duplicate edge"
+        for neighbor in neighbors:
+            assert neighbor in records, f"edge to a deleted vertex from {vertex_id}"
+            assert record in _adjacency(m, neighbor), "missing back-edge"
+
+
+def test_setup_is_undirected(m):
+    workload = RandomGraphWorkload(m, seed=1)
+    _assert_undirected(m, workload)
+    assert len(_vertices(m, workload)) == KEY_RANGE // 2
+
+
+def test_insert_and_delete_vertex(m):
+    workload = RandomGraphWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+
+    def tx(body):
+        drive(m, 0, runtime.begin(thread))
+        value = drive(m, 0, body)
+        drive(m, 0, runtime.commit(thread))
+        return value
+
+    # Odd ids are unseeded.
+    assert tx(workload.insert_vertex(ctx, 1, (0, 2, 4, 6))) is True
+    vertices = _vertices(m, workload)
+    assert 1 in vertices
+    assert vertices[0] in _adjacency(m, vertices[1])
+    assert tx(workload.insert_vertex(ctx, 1, (8,))) is False  # already present
+    assert tx(workload.delete_vertex(ctx, 1)) is True
+    vertices = _vertices(m, workload)
+    assert 1 not in vertices
+    _assert_undirected(m, workload)
+    assert tx(workload.delete_vertex(ctx, 1)) is False
+
+
+def test_concurrent_graph_stays_undirected(m):
+    workload = RandomGraphWorkload(m, seed=6)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(4)]
+    result = Scheduler(m, threads).run(cycle_limit=150_000)
+    assert result.commits > 0
+    _assert_undirected(m, workload)
+
+
+def test_transactions_have_large_read_sets(m):
+    """The paper's profile: long list walks dominated by reads."""
+    workload = RandomGraphWorkload(m, seed=2)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    threads = [TxThread(0, runtime, workload.items(0))]
+    Scheduler(m, threads).run(cycle_limit=60_000)
+    accesses = m.stats.counter("l1.access.TLoad").value
+    commits = threads[0].commits
+    assert commits > 0
+    assert accesses / max(1, commits + threads[0].aborts) > 20

@@ -1,0 +1,131 @@
+"""Red-black tree workload: BST invariants under concurrency."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.api import TxContext
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread
+from repro.workloads.base import word_address
+from repro.workloads.rbtree import (
+    DEAD,
+    KEY,
+    LEFT,
+    NIL,
+    RIGHT,
+    RedBlackTree,
+    RBTreeWorkload,
+)
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def _tx(m, runtime, thread, body):
+    drive(m, 0, runtime.begin(thread))
+    value = drive(m, 0, body)
+    drive(m, 0, runtime.commit(thread))
+    return value
+
+
+def _collect(memory, node, out, lo=float("-inf"), hi=float("inf")):
+    """In-order walk asserting the BST ordering invariant."""
+    if node == NIL:
+        return
+    key = memory.read(word_address(node, KEY))
+    assert lo < key < hi, f"BST violation: {key} outside ({lo}, {hi})"
+    _collect(memory, memory.read(word_address(node, LEFT)), out, lo, key)
+    if not memory.read(word_address(node, DEAD)):
+        out.append(key)
+    _collect(memory, memory.read(word_address(node, RIGHT)), out, key, hi)
+
+
+def test_insert_lookup_delete_single_thread(m):
+    tree = RedBlackTree(m)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    for key in (50, 20, 80, 10, 30, 70, 90, 25, 28):
+        assert _tx(m, runtime, thread, tree.insert(ctx, key, key * 2)) is True
+    for key in (50, 25, 90):
+        assert _tx(m, runtime, thread, tree.lookup(ctx, key)) == key * 2
+    assert _tx(m, runtime, thread, tree.lookup(ctx, 55)) is None
+    assert _tx(m, runtime, thread, tree.delete(ctx, 20)) is True
+    assert _tx(m, runtime, thread, tree.lookup(ctx, 20)) is None
+    assert _tx(m, runtime, thread, tree.delete(ctx, 20)) is False  # already dead
+    # Re-insert revives the tombstone in place (a successful insert).
+    assert _tx(m, runtime, thread, tree.insert(ctx, 20, 999)) is True
+    assert _tx(m, runtime, thread, tree.lookup(ctx, 20)) == 999
+    # Inserting a live key is a read-only no-op.
+    assert _tx(m, runtime, thread, tree.insert(ctx, 20, 555)) is False
+    assert _tx(m, runtime, thread, tree.lookup(ctx, 20)) == 999
+
+
+def test_bst_ordering_after_many_inserts(m):
+    tree = RedBlackTree(m)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    import random
+
+    keys = list(range(0, 200, 3))
+    random.Random(5).shuffle(keys)
+    for key in keys:
+        _tx(m, runtime, thread, tree.insert(ctx, key, key))
+    collected = []
+    _collect(m.memory, m.memory.read(tree.root_address), collected)
+    assert collected == sorted(keys)
+
+
+def test_rotations_preserve_membership(m):
+    """Ascending insertion maximizes rotations; all keys must survive."""
+    tree = RedBlackTree(m)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    for key in range(40):
+        _tx(m, runtime, thread, tree.insert(ctx, key, key))
+    for key in range(40):
+        assert _tx(m, runtime, thread, tree.lookup(ctx, key)) == key
+
+
+def test_tree_depth_stays_logarithmic(m):
+    """Red-black fixup must keep ascending inserts from degenerating."""
+    tree = RedBlackTree(m)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    count = 128
+    for key in range(count):
+        _tx(m, runtime, thread, tree.insert(ctx, key, key))
+
+    def depth(node):
+        if node == NIL:
+            return 0
+        left = depth(m.memory.read(word_address(node, LEFT)))
+        right = depth(m.memory.read(word_address(node, RIGHT)))
+        return 1 + max(left, right)
+
+    measured = depth(m.memory.read(tree.root_address))
+    assert measured <= 2 * 8  # <= 2 log2(128) + slack, far below 128
+
+
+def test_concurrent_rbtree_preserves_bst(m):
+    workload = RBTreeWorkload(m, seed=2)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(4)]
+    result = Scheduler(m, threads).run(cycle_limit=150_000)
+    assert result.commits > 0
+    collected = []
+    _collect(m.memory, m.memory.read(workload.tree.root_address), collected)
+    assert collected == sorted(set(collected))  # ordered, no duplicates

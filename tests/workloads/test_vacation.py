@@ -1,0 +1,125 @@
+"""Vacation workload: reservation-system invariants."""
+
+import pytest
+
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.api import TxContext
+from repro.runtime.flextm import FlexTMRuntime
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread
+from repro.workloads.base import word_address
+from repro.workloads.rbtree import DEAD, KEY, LEFT, NIL, RIGHT, VALUE
+from repro.workloads.vacation import (
+    NUM_TABLES,
+    R_AVAILABLE,
+    R_PRICE,
+    R_TOTAL,
+    RELATIONS,
+    VacationWorkload,
+)
+from tests.helpers import drive
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_contention_modes_configure_ranges(m):
+    low = VacationWorkload(m, seed=1, contention="low")
+    assert low.query_range == int(RELATIONS * 0.9)
+    assert low.read_only_percent == 90
+    high = VacationWorkload(FlexTMMachine(small_test_params(4)), seed=1, contention="high")
+    assert high.query_range == max(1, int(RELATIONS * 0.1))
+    assert high.read_only_percent == 50
+
+
+def test_bad_contention_rejected(m):
+    with pytest.raises(ValueError):
+        VacationWorkload(m, contention="medium")
+
+
+def test_tables_seeded_with_all_rows(m):
+    workload = VacationWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    for row in (0, RELATIONS // 2, RELATIONS - 1):
+        drive(m, 0, runtime.begin(thread))
+        record = drive(m, 0, workload.tables[0].lookup(ctx, row))
+        drive(m, 0, runtime.commit(thread))
+        assert record is not None
+        total = m.memory.read(word_address(record, R_TOTAL))
+        available = m.memory.read(word_address(record, R_AVAILABLE))
+        assert total == available > 0
+
+
+def test_reserve_decrements_and_charges(m):
+    workload = VacationWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    queries = ((0, 5), (1, 6))
+    drive(m, 0, runtime.begin(thread))
+    booked = drive(m, 0, workload.reserve_task(ctx, customer=3, queries=queries))
+    drive(m, 0, runtime.commit(thread))
+    assert booked is True
+    customer_spend = m.memory.read(workload.customer_base + 3 * m.params.line_bytes)
+    assert customer_spend > 0
+
+
+def test_browse_returns_cheapest_price(m):
+    workload = VacationWorkload(m, seed=1)
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    thread = TxThread(0, runtime, iter(()))
+    thread.processor = 0
+    ctx = TxContext(runtime, thread)
+    queries = tuple((table, row) for table in range(NUM_TABLES) for row in (1, 2))
+    drive(m, 0, runtime.begin(thread))
+    cheapest = drive(m, 0, workload.browse_task(ctx, queries))
+    drive(m, 0, runtime.commit(thread))
+    prices = []
+    for table, row in queries:
+        record = workload_record(m, workload, table, row)
+        prices.append(m.memory.read(word_address(record, R_PRICE)))
+    assert cheapest == min(prices)
+
+
+def workload_record(m, workload, table, row):
+    """Untimed tree search through the memory image."""
+    node = m.memory.read(workload.tables[table].root_address)
+    while node != NIL:
+        key = m.memory.read(word_address(node, KEY))
+        if key == row:
+            assert not m.memory.read(word_address(node, DEAD))
+            return m.memory.read(word_address(node, VALUE))
+        node = m.memory.read(word_address(node, LEFT if row < key else RIGHT))
+    raise AssertionError(f"row {row} missing from table {table}")
+
+
+def test_concurrent_reservations_conserve_inventory(m):
+    """available + (sum of bookings) == total for every resource."""
+    workload = VacationWorkload(m, seed=2, contention="high")
+    runtime = FlexTMRuntime(m, mode=ConflictMode.LAZY)
+    threads = [TxThread(i, runtime, workload.items(i)) for i in range(4)]
+    result = Scheduler(m, threads).run(cycle_limit=150_000)
+    assert result.commits > 0
+    total_booked = 0
+    total_capacity_drop = 0
+    for table in range(NUM_TABLES):
+        for row in range(workload.query_range):
+            record = workload_record(m, workload, table, row)
+            total = m.memory.read(word_address(record, R_TOTAL))
+            available = m.memory.read(word_address(record, R_AVAILABLE))
+            assert 0 <= available <= total
+            total_capacity_drop += total - available
+    spend = sum(
+        m.memory.read(workload.customer_base + c * m.params.line_bytes)
+        for c in range(64)
+    )
+    # Every unit of lost capacity corresponds to a paid booking.
+    assert (total_capacity_drop == 0) == (spend == 0)

@@ -1,0 +1,58 @@
+"""Workload base-class helpers."""
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.workloads.base import Workload, word_address
+
+
+class _Trivial(Workload):
+    name = "Trivial"
+
+    def _setup(self):
+        self.cell = self._alloc_record(2)
+        self._poke(word_address(self.cell, 1), 42)
+
+    def items(self, thread_id):
+        return iter(())
+
+
+def test_word_address_arithmetic():
+    assert word_address(1000, 0) == 1000
+    assert word_address(1000, 3) == 1024
+
+
+def test_alloc_record_is_line_aligned():
+    machine = FlexTMMachine(small_test_params(2))
+    workload = _Trivial(machine)
+    assert workload.cell % machine.params.line_bytes == 0
+
+
+def test_poke_and_peek_roundtrip():
+    machine = FlexTMMachine(small_test_params(2))
+    workload = _Trivial(machine)
+    assert workload._peek(word_address(workload.cell, 1)) == 42
+
+
+def test_poke_warms_the_l2():
+    machine = FlexTMMachine(small_test_params(2))
+    workload = _Trivial(machine)
+    cycles = machine.load(0, workload.cell).cycles
+    assert cycles < machine.params.memory_cycles
+
+
+def test_base_requires_setup_and_items():
+    machine = FlexTMMachine(small_test_params(2))
+    with pytest.raises(NotImplementedError):
+        Workload(machine)
+    workload = _Trivial(machine)
+    with pytest.raises(NotImplementedError):
+        Workload.items(workload, 0)  # base items is abstract
+
+
+def test_rng_forked_from_seed():
+    machine = FlexTMMachine(small_test_params(2))
+    one = _Trivial(machine, seed=5)
+    two = _Trivial(machine, seed=5)
+    assert one.rng.fork(1).randint(0, 1 << 30) == two.rng.fork(1).randint(0, 1 << 30)

@@ -1,0 +1,75 @@
+"""Cross-cutting workload-stream properties."""
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.runtime.txthread import WorkItem
+from repro.workloads import WORKLOADS
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_streams_produce_work_items(name):
+    machine = FlexTMMachine(small_test_params(4))
+    workload = WORKLOADS[name](machine, seed=3)
+    stream = workload.items(0)
+    items = [next(stream) for _ in range(8)]
+    assert all(isinstance(item, WorkItem) for item in items)
+    assert any(item.transactional for item in items) or name == "Prime"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_streams_are_seed_deterministic(name):
+    """Two workloads with the same seed must drive identical runs."""
+    from repro.harness.runner import ExperimentConfig, run_experiment
+
+    def once():
+        result = run_experiment(
+            ExperimentConfig(
+                workload=name,
+                system="FlexTM",
+                threads=2,
+                cycle_limit=25_000,
+                seed=9,
+                params=small_test_params(4),
+            )
+        )
+        return (result.commits, result.aborts)
+
+    assert once() == once()
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_per_thread_streams_differ(name):
+    """Different thread ids draw different operation sequences."""
+    machine = FlexTMMachine(small_test_params(4))
+    workload = WORKLOADS[name](machine, seed=3)
+
+    def fingerprint(thread_id):
+        # Work items capture their parameters either as closure cells or
+        # as lambda default arguments; hash both.
+        stream = workload.items(thread_id)
+        cells = []
+        for _ in range(6):
+            item = next(stream)
+            closure = getattr(item.body, "__closure__", None) or ()
+            defaults = getattr(item.body, "__defaults__", None) or ()
+            cells.append(
+                (
+                    tuple(repr(cell.cell_contents) for cell in closure),
+                    tuple(repr(value) for value in defaults),
+                )
+            )
+        return tuple(cells)
+
+    # Not all workloads randomize every item (Delaunay alternates
+    # deterministic phases), so only require *some* divergence.
+    if name != "Delaunay":
+        assert fingerprint(0) != fingerprint(1)
+
+
+def test_workload_setup_does_not_consume_cycles():
+    machine = FlexTMMachine(small_test_params(4))
+    for name in sorted(WORKLOADS):
+        WORKLOADS[name](machine, seed=1)
+    assert machine.max_cycle() == 0  # warm-up is untimed

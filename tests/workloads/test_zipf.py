@@ -1,0 +1,45 @@
+"""Zipf sampler distribution properties."""
+
+import pytest
+
+from repro.sim.rng import DeterministicRng
+from repro.workloads.zipf import ZipfSampler
+
+
+def test_samples_in_range():
+    sampler = ZipfSampler(100)
+    rng = DeterministicRng(1)
+    for _ in range(1000):
+        assert 0 <= sampler.sample(rng) < 100
+
+
+def test_head_dominates():
+    """With exponent 2, item 0 carries the majority of the mass."""
+    sampler = ZipfSampler(2048)
+    rng = DeterministicRng(2)
+    draws = [sampler.sample(rng) for _ in range(5000)]
+    head_fraction = sum(1 for draw in draws if draw == 0) / len(draws)
+    assert head_fraction > 0.5
+
+
+def test_probability_masses_sum_to_one():
+    sampler = ZipfSampler(50)
+    total = sum(sampler.probability(index) for index in range(50))
+    assert abs(total - 1.0) < 1e-9
+
+
+def test_probability_monotone_decreasing():
+    sampler = ZipfSampler(20)
+    masses = [sampler.probability(index) for index in range(20)]
+    assert all(a >= b for a, b in zip(masses, masses[1:]))
+
+
+def test_probability_bounds_checked():
+    sampler = ZipfSampler(5)
+    with pytest.raises(IndexError):
+        sampler.probability(5)
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)

@@ -22,6 +22,7 @@ from repro.coherence.messages import RequestType, ResponseKind
 from repro.coherence.states import LineState
 from repro.errors import ProtocolError
 from repro.memory.cache import CacheArray
+from repro.obs.tracer import NULL_TRACER
 from repro.params import SystemParams
 from repro.sim.stats import StatsRegistry
 
@@ -110,6 +111,10 @@ class Directory:
         self.summary_conflict_check: Optional[Callable] = None
         # NACK filter: lines in a committed overflow table mid-copy-back.
         self.nack_check: Optional[Callable] = None
+        # Observability hooks (installed by FlexTMMachine.set_tracer):
+        # the tracer itself and a processor-clock accessor for stamps.
+        self.tracer = NULL_TRACER
+        self.clock_of: Optional[Callable] = None
 
     def entry(self, line_address: int) -> DirectoryEntry:
         if line_address not in self._entries:
@@ -155,6 +160,8 @@ class Directory:
 
         if self.nack_check is not None and self.nack_check(line_address, requestor):
             self.stats.counter("dir.nacks").increment()
+            if self.tracer.enabled:
+                self._trace_request(requestor, req_type, line_address, "NACK", [])
             return DirectoryOutcome(cycles=cycles, responses=[], grant=LineState.I, nacked=True)
 
         entry = self.entry(line_address)
@@ -186,7 +193,29 @@ class Directory:
                     entry.demote_owner_to_sharer(responder)
 
         grant = self._grant_and_record(requestor, req_type, line_address, entry, responses)
+        if self.tracer.enabled:
+            self._trace_request(requestor, req_type, line_address, grant.name, responses)
         return DirectoryOutcome(cycles=cycles, responses=responses, grant=grant)
+
+    def _trace_request(
+        self,
+        requestor: int,
+        req_type: RequestType,
+        line_address: int,
+        grant: str,
+        responses: List[Tuple[int, ResponseKind]],
+    ) -> None:
+        """Emit one ``coh_request`` plus a ``coh_response`` per response."""
+        now = self.clock_of(requestor) if self.clock_of is not None else 0
+        self.tracer.coherence(
+            requestor, now, "coh_request", line_address,
+            detail=f"{req_type.value}->{grant}",
+        )
+        for responder, kind in responses:
+            self.tracer.coherence(
+                requestor, now, "coh_response", line_address,
+                responder=responder, detail=kind.value,
+            )
 
     def _sticky(self, line_address: int, processor: int) -> bool:
         """Cores-Summary stickiness for descheduled transactions."""

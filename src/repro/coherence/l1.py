@@ -34,6 +34,7 @@ from repro.coherence.states import LineState
 from repro.errors import ProtocolError
 from repro.memory.cache import CacheArray, CacheLine
 from repro.memory.victim import VictimBuffer
+from repro.obs.tracer import NULL_TRACER
 from repro.params import SystemParams
 from repro.sim.stats import StatsRegistry
 
@@ -71,6 +72,8 @@ class L1Controller:
         self.directory = directory
         self.hooks = hooks or NullL1Hooks()
         self.stats = stats or StatsRegistry()
+        #: Observability hook (replaced by FlexTMMachine.set_tracer).
+        self.tracer = NULL_TRACER
         self.array = CacheArray(params.l1.num_sets, params.l1.associativity)
         self.victims = VictimBuffer(params.victim_buffer_entries)
         #: E7 knob — route TMI evictions into an unbounded side buffer
@@ -210,6 +213,15 @@ class L1Controller:
     def evict(self, line: CacheLine) -> None:
         """Apply the per-state eviction policy to a chosen victim."""
         state = line.state
+        if self.tracer.enabled:
+            clock = getattr(self.hooks, "clock", None)
+            self.tracer.coherence(
+                self.proc_id,
+                clock.now if clock is not None else 0,
+                "coh_evict",
+                line.line_address,
+                detail=state.name,
+            )
         if line.a_bit:
             # Tracking for an ALoaded line is lost on eviction; alert.
             self.hooks.on_alert(line.line_address, "evicted")

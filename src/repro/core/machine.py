@@ -14,7 +14,7 @@ that processor's clock, which is what interleaves the simulated threads.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.coherence.directory import Directory
 from repro.coherence.messages import AccessKind, RequestType, ResponseKind
@@ -24,6 +24,7 @@ from repro.core.tsw import TxStatus
 from repro.errors import ProtocolError
 from repro.memory.address import AddressMap
 from repro.memory.main_memory import MainMemory
+from repro.obs.tracer import NULL_TRACER, Tracer, classify_conflict
 from repro.params import DEFAULT_PARAMS, SystemParams
 from repro.signatures.summary import SummarySignatures
 from repro.sim.stats import StatsRegistry
@@ -57,6 +58,7 @@ class FlexTMMachine:
     ):
         self.params = params
         self.stats = StatsRegistry()
+        self.tracer: Tracer = NULL_TRACER
         self.memory = MainMemory()
         self.amap = AddressMap(params.line_bytes)
         self.directory = Directory(params, self.stats)
@@ -81,6 +83,24 @@ class FlexTMMachine:
         self._brk = 1 << 16
 
     # --------------------------------------------------------------- plumbing
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Install (or remove, with None) an observability tracer.
+
+        The tracer is fanned out to every layer that emits events: the
+        processors (AOU, overflow controller), their L1s (evictions) and
+        the directory (coherence messages).  Tracing is observational
+        only — it never changes a simulated cycle.
+        """
+        # Explicit None test: an EventTracer with no events yet is falsy
+        # (it defines __len__), and must still install.
+        tracer = NULL_TRACER if tracer is None else tracer
+        self.tracer = tracer
+        for proc in self.processors:
+            proc.tracer = tracer
+            proc.l1.tracer = tracer
+        self.directory.tracer = tracer
+        self.directory.clock_of = lambda p: self.processors[p].clock.now
 
     def _forward(
         self, responder: int, requestor: int, req_type: RequestType, line_address: int
@@ -124,6 +144,24 @@ class FlexTMMachine:
     def _take_summary_conflicts(self) -> List[Tuple[int, ResponseKind]]:
         taken, self._pending_summary_conflicts = self._pending_summary_conflicts, []
         return taken
+
+    def _trace_access(
+        self,
+        proc: FlexTMProcessor,
+        kind: AccessKind,
+        address: int,
+        conflicts: List[Tuple[int, ResponseKind]],
+    ) -> None:
+        """Emit the (sampled) access and any CST-setting conflicts."""
+        now = proc.clock.now
+        thread = proc.current.thread_id if proc.current is not None else -1
+        rw = "read" if kind is AccessKind.TLOAD else "write"
+        self.tracer.tx_access(proc.proc_id, thread, now, rw, address)
+        line = self.amap.line_of(address)
+        for responder, response in conflicts:
+            cst = classify_conflict(kind, response)
+            if cst is not None:
+                self.tracer.conflict(proc.proc_id, now, responder, cst, line)
 
     # -------------------------------------------------------------- allocator
 
@@ -187,6 +225,10 @@ class FlexTMMachine:
         out.value = value
         if aborted:
             self.stats.counter("strong_isolation.aborts").increment(len(aborted))
+            if self.tracer.enabled:
+                now = proc.clock.now
+                for victim in aborted:
+                    self.tracer.conflict(proc_id, now, victim, "SI", line)
         return out
 
     def tload(self, proc_id: int, address: int) -> MemoryOpResult:
@@ -204,6 +246,8 @@ class FlexTMMachine:
         proc.note_request_conflicts(AccessKind.TLOAD, conflicts)
         if proc.current is not None:
             proc.current.accesses += 1
+        if self.tracer.enabled:
+            self._trace_access(proc, AccessKind.TLOAD, address, conflicts)
         value = self._read_value(proc, address, transactional=True)
         return MemoryOpResult(value=value, cycles=result.cycles + refill_cycles, conflicts=conflicts)
 
@@ -223,6 +267,8 @@ class FlexTMMachine:
         proc.overlay[address] = value
         if proc.current is not None:
             proc.current.accesses += 1
+        if self.tracer.enabled:
+            self._trace_access(proc, AccessKind.TSTORE, address, conflicts)
         return MemoryOpResult(value=value, cycles=result.cycles + refill_cycles, conflicts=conflicts)
 
     def cas(self, proc_id: int, address: int, expected: int, new: int) -> MemoryOpResult:

@@ -23,6 +23,7 @@ from repro.core.aou import AlertUnit
 from repro.core.cst import ConflictSummaryTables
 from repro.core.descriptor import SavedHardwareState, TransactionDescriptor
 from repro.core.overflow import OverflowController
+from repro.obs.tracer import NULL_TRACER
 from repro.params import SystemParams
 from repro.sim.clock import CycleClock
 from repro.sim.stats import StatsRegistry
@@ -53,6 +54,8 @@ class FlexTMProcessor:
         self.proc_id = proc_id
         self.params = params
         self.stats = stats or StatsRegistry()
+        #: Observability hook (replaced by FlexTMMachine.set_tracer).
+        self.tracer = NULL_TRACER
         self.clock = CycleClock()
         self.rsig = Signature(params.signature_bits, params.signature_hashes)
         self.wsig = Signature(params.signature_bits, params.signature_hashes)
@@ -118,10 +121,16 @@ class FlexTMProcessor:
             self.stats.counter("ot.allocations").increment()
         self.ot.spill(line_address)
         self.stats.counter("ot.spills").increment()
+        if self.tracer.enabled:
+            self.tracer.overflow(
+                self.proc_id, self.clock.now, "spill", line_address, dur=cycles
+            )
         return cycles
 
     def on_alert(self, line_address: int, reason: str) -> None:
         self.alerts.raise_alert(line_address, reason)
+        if self.tracer.enabled:
+            self.tracer.aou_alert(self.proc_id, self.clock.now, line_address, reason)
 
     # -- transactional access helpers ---------------------------------------------
 
@@ -144,6 +153,10 @@ class FlexTMProcessor:
         line = self.l1.array.install(line_address, LineState.TMI)
         line.t_bit = True
         self.stats.counter("ot.refills").increment()
+        if self.tracer.enabled:
+            self.tracer.overflow(
+                self.proc_id, self.clock.now, "walk", line_address, dur=OT_REFILL_CYCLES
+            )
         return OT_REFILL_CYCLES
 
     def note_request_conflicts(
@@ -182,6 +195,12 @@ class FlexTMProcessor:
         """
         self.l1.flash_commit()
         copyback_done = self.ot.begin_copyback(now, OT_COPYBACK_CYCLES_PER_LINE)
+        if copyback_done > now and self.tracer.enabled:
+            # Controller-overlapped drain: informational (the profiler
+            # does not charge it to the processor's cycle buckets).
+            self.tracer.overflow(
+                self.proc_id, self.clock.now, "copyback", dur=copyback_done - now
+            )
         self.rsig.clear()
         self.wsig.clear()
         self.csts.clear()

@@ -9,6 +9,16 @@ Usage::
     python -m repro.harness conflicts
     python -m repro.harness overflow
     python -m repro.harness all
+
+Any figure/overflow artifact accepts ``--trace-out DIR`` to also dump
+one Chrome/Perfetto trace per measurement point.
+
+A single run can be traced and inspected directly::
+
+    python -m repro.harness trace hashtable FlexTM --threads 4 \\
+        --cycles 50000 --trace-out /tmp/trace.json
+
+See ``python -m repro.harness trace --help`` and docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -22,6 +32,14 @@ def _thread_list(text: str):
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "trace":
+        # The trace subcommand has its own positional grammar
+        # (workload + system), so it dispatches before the artifact
+        # parser sees the arguments.
+        from repro.harness.trace import run_trace_command
+
+        return run_trace_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate FlexTM paper tables and figures.",
@@ -45,6 +63,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="also render figure series as ASCII charts",
     )
+    parser.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        help="write one Chrome trace per measurement point into DIR "
+        "(figure4 / figure5 / overflow)",
+    )
     args = parser.parse_args(argv)
 
     wants = lambda name: args.artifact in (name, "all")
@@ -63,7 +88,8 @@ def main(argv=None) -> int:
         from repro.harness.figure4 import render_figure4, run_figure4
 
         results = run_figure4(
-            thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed
+            thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed,
+            trace_out=args.trace_out,
         )
         print(render_figure4(results))
         if args.chart:
@@ -91,7 +117,8 @@ def main(argv=None) -> int:
         )
 
         policy_results = run_policy_comparison(
-            thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed
+            thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed,
+            trace_out=args.trace_out,
         )
         print(render_policy(policy_results))
         if args.chart:
@@ -110,7 +137,13 @@ def main(argv=None) -> int:
     if wants("overflow"):
         from repro.harness.overflow import render_overflow, run_overflow_study
 
-        print(render_overflow(run_overflow_study(cycle_limit=args.cycles, seed=args.seed)))
+        print(
+            render_overflow(
+                run_overflow_study(
+                    cycle_limit=args.cycles, trace_out=args.trace_out
+                )
+            )
+        )
     return 0
 
 

@@ -16,7 +16,7 @@ maximum at 8 and 16 threads).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.descriptor import ConflictMode
 from repro.harness.report import format_series, format_table
@@ -53,8 +53,13 @@ def run_figure4(
     thread_points: Sequence[int] = DEFAULT_THREAD_POINTS,
     cycle_limit: int = 0,
     seed: int = 42,
+    trace_out: Optional[str] = None,
 ) -> Dict[str, List[Figure4Point]]:
-    """Run the full Figure 4 sweep; returns points grouped by workload."""
+    """Run the full Figure 4 sweep; returns points grouped by workload.
+
+    ``trace_out`` names a directory that receives one Chrome trace per
+    measurement point (sparse sampling, coherence events off).
+    """
     results: Dict[str, List[Figure4Point]] = {}
     for workload in workloads:
         baseline = run_experiment(
@@ -66,6 +71,11 @@ def run_figure4(
         points: List[Figure4Point] = []
         for system in systems_for(workload):
             for threads in thread_points:
+                tracer = None
+                if trace_out:
+                    from repro.harness.trace import sweep_tracer
+
+                    tracer = sweep_tracer()
                 result = run_experiment(
                     ExperimentConfig(
                         workload=workload,
@@ -74,8 +84,16 @@ def run_figure4(
                         mode=ConflictMode.EAGER,
                         cycle_limit=cycle_limit,
                         seed=seed,
+                        tracer=tracer,
                     )
                 )
+                if tracer is not None:
+                    from repro.harness.trace import write_point_trace
+
+                    write_point_trace(
+                        tracer, trace_out,
+                        f"figure4_{workload}_{system}_{threads}t",
+                    )
                 points.append(
                     Figure4Point(
                         workload=workload,

@@ -18,7 +18,7 @@ hurting the (concurrency-free) transactional workload.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.descriptor import ConflictMode
 from repro.harness.report import format_series
@@ -45,8 +45,12 @@ def run_policy_comparison(
     thread_points: Sequence[int] = DEFAULT_THREAD_POINTS,
     cycle_limit: int = 0,
     seed: int = 42,
+    trace_out: Optional[str] = None,
 ) -> Dict[str, List[PolicyPoint]]:
-    """Figure 5(a)-(d): FlexTM Eager vs Lazy."""
+    """Figure 5(a)-(d): FlexTM Eager vs Lazy.
+
+    ``trace_out`` names a directory for one Chrome trace per point.
+    """
     results: Dict[str, List[PolicyPoint]] = {}
     for workload in workloads:
         baseline = run_experiment(
@@ -63,6 +67,11 @@ def run_policy_comparison(
         points: List[PolicyPoint] = []
         for mode in (ConflictMode.EAGER, ConflictMode.LAZY):
             for threads in thread_points:
+                tracer = None
+                if trace_out:
+                    from repro.harness.trace import sweep_tracer
+
+                    tracer = sweep_tracer()
                 result = run_experiment(
                     ExperimentConfig(
                         workload=workload,
@@ -71,8 +80,16 @@ def run_policy_comparison(
                         mode=mode,
                         cycle_limit=cycle_limit,
                         seed=seed,
+                        tracer=tracer,
                     )
                 )
+                if tracer is not None:
+                    from repro.harness.trace import write_point_trace
+
+                    write_point_trace(
+                        tracer, trace_out,
+                        f"figure5_{workload}_{mode.value}_{threads}t",
+                    )
                 points.append(
                     PolicyPoint(
                         workload=workload,

@@ -16,7 +16,7 @@ observes).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.descriptor import ConflictMode
 from repro.harness.runner import ExperimentConfig, run_experiment
@@ -58,6 +58,7 @@ def run_overflow_study(
     threads: int = 2,
     cycle_limit: int = 0,
     seeds: Sequence[int] = (42, 43, 44),
+    trace_out: Optional[str] = None,
 ) -> Dict[str, OverflowPoint]:
     """OT vs ideal, averaged over seeds, under lazy management.
 
@@ -72,6 +73,11 @@ def run_overflow_study(
     for workload in workloads:
         ot_total, ideal_total, spills = 0.0, 0.0, 0
         for seed in seeds:
+            tracer = None
+            if trace_out:
+                from repro.harness.trace import sweep_tracer
+
+                tracer = sweep_tracer()
             with_ot = run_experiment(
                 ExperimentConfig(
                     workload=workload,
@@ -81,8 +87,15 @@ def run_overflow_study(
                     cycle_limit=cycle_limit,
                     seed=seed,
                     params=params,
+                    tracer=tracer,
                 )
             )
+            if tracer is not None:
+                from repro.harness.trace import write_point_trace
+
+                write_point_trace(
+                    tracer, trace_out, f"overflow_{workload}_seed{seed}"
+                )
             ideal = run_experiment(
                 ExperimentConfig(
                     workload=workload,

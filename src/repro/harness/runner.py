@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.descriptor import ConflictMode
 from repro.core.machine import FlexTMMachine
+from repro.obs.tracer import Tracer
 from repro.params import DEFAULT_PARAMS, SystemParams
 from repro.runtime.flextm import FlexTMRuntime
 from repro.runtime.scheduler import RunResult, Scheduler
@@ -40,9 +41,24 @@ SYSTEMS: Dict[str, Callable] = {
     "LogTM-SE": lambda machine, mode: LogTmSeRuntime(machine),
 }
 
-#: Default cycle budget per run; override with REPRO_CYCLES for longer,
-#: lower-variance experiments.
-DEFAULT_CYCLE_LIMIT = int(os.environ.get("REPRO_CYCLES", 400_000))
+#: Default cycle budget per run.  REPRO_CYCLES overrides it, but the
+#: environment is consulted when a config is *resolved*, not at import
+#: time — ``os.environ`` changes (tests, long-running drivers) take
+#: effect without reimporting this module.
+DEFAULT_CYCLE_LIMIT = 400_000
+
+
+def default_cycle_limit() -> int:
+    """The cycle budget used when a config does not pin one."""
+    override = os.environ.get("REPRO_CYCLES")
+    if override:
+        try:
+            return int(override)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CYCLES must be an integer, got {override!r}"
+            ) from None
+    return DEFAULT_CYCLE_LIMIT
 
 
 @dataclasses.dataclass
@@ -66,9 +82,12 @@ class ExperimentConfig:
     processors: Optional[int] = None
     #: Scheduling quantum in cycles (None = default policy).
     quantum: Optional[int] = None
+    #: Observability: attach an EventTracer to record this run.  The
+    #: default (None) installs the zero-overhead NullTracer.
+    tracer: Optional[Tracer] = None
 
     def resolved_cycle_limit(self) -> int:
-        return self.cycle_limit or DEFAULT_CYCLE_LIMIT
+        return self.cycle_limit or default_cycle_limit()
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:
@@ -79,6 +98,8 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         raise KeyError(f"unknown system {config.system!r}; have {sorted(SYSTEMS)}")
     params = config.params or DEFAULT_PARAMS
     machine = FlexTMMachine(params, tmi_to_victim=config.tmi_to_victim)
+    if config.tracer is not None:
+        machine.set_tracer(config.tracer)
     backend = SYSTEMS[config.system](machine, config.mode)
     workload = WORKLOADS[config.workload](machine, seed=config.seed)
     abort_prime = None

@@ -1,0 +1,208 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and JSONL.
+
+The Chrome format (loadable at https://ui.perfetto.dev or
+``chrome://tracing``) maps the simulation onto one process with one
+track per processor:
+
+* transaction attempts become complete (``ph: "X"``) slices on the
+  processor that began them, named ``tx <thread>#<incarnation>`` and
+  colored by outcome (committed vs aborted);
+* conflicts, alerts, aborts and scheduler actions become instant
+  (``ph: "i"``) events;
+* conflict stalls and overflow walks become their own short slices.
+
+Cycle stamps are exported 1:1 as microsecond timestamps, so "1 us" in
+the viewer is one simulated cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+from repro.obs.tracer import EventTracer, TraceEvent
+
+#: Instant-event kinds surfaced as markers on the processor track.
+_INSTANT_KINDS = {
+    "conflict_detected",
+    "aou_alert",
+    "overflow_spill",
+    "overflow_walk",
+    "overflow_copyback",
+    "tx_read",
+    "tx_write",
+    "preempt",
+    "yield",
+    "dispatch",
+    "retire",
+    "coh_request",
+    "coh_response",
+    "coh_evict",
+}
+
+
+def _instant(event: TraceEvent) -> Dict[str, object]:
+    name = event.kind
+    if event.cause:
+        name = f"{name}:{event.cause}"
+    elif event.data and "cst" in event.data:
+        name = f"conflict {event.data['cst']}"
+    return {
+        "name": name,
+        "ph": "i",
+        "ts": event.cycle,
+        "pid": 0,
+        "tid": event.proc,
+        "s": "t",
+        "args": event.to_dict(),
+    }
+
+
+def to_chrome_trace(tracer: EventTracer, label: str = "repro") -> Dict[str, object]:
+    """Build the ``trace_event`` JSON document for one traced run."""
+    trace_events: List[Dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"FlexTM simulation ({label})"},
+        }
+    ]
+    num_procs = len(tracer.proc_cycles) or (
+        1 + max((event.proc for event in tracer.events), default=0)
+    )
+    for proc in range(num_procs):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": proc,
+                "args": {"name": f"proc {proc}"},
+            }
+        )
+
+    #: thread id -> (begin cycle, begin proc, incarnation) of the open attempt.
+    open_attempts: Dict[int, tuple] = {}
+    for event in tracer.events:
+        kind = event.kind
+        if kind == "tx_begin":
+            incarnation = (event.data or {}).get("incarnation", 0)
+            open_attempts[event.thread] = (event.cycle, event.proc, incarnation)
+        elif kind in ("tx_commit", "tx_abort"):
+            begin = open_attempts.pop(event.thread, None)
+            if begin is None:
+                continue
+            start, proc, incarnation = begin
+            outcome = "commit" if kind == "tx_commit" else "abort"
+            args: Dict[str, object] = {
+                "thread": event.thread,
+                "incarnation": incarnation,
+                "outcome": outcome,
+            }
+            if kind == "tx_abort":
+                args["cause"] = event.cause
+                args["by"] = (event.data or {}).get("by", -1)
+            trace_events.append(
+                {
+                    "name": f"tx {event.thread}#{incarnation} {outcome}",
+                    "cat": "tx",
+                    "ph": "X",
+                    "ts": start,
+                    "dur": max(1, event.cycle - start),
+                    "pid": 0,
+                    "tid": proc,
+                    "args": args,
+                    "cname": "thread_state_running" if outcome == "commit"
+                    else "terrible",
+                }
+            )
+        elif kind == "conflict_stall":
+            trace_events.append(
+                {
+                    "name": "stall",
+                    "cat": "conflict",
+                    "ph": "X",
+                    "ts": max(0, event.cycle - event.dur),
+                    "dur": max(1, event.dur),
+                    "pid": 0,
+                    "tid": event.proc,
+                    "args": event.to_dict(),
+                }
+            )
+        elif kind in _INSTANT_KINDS:
+            trace_events.append(_instant(event))
+    # Attempts still open when the run ended: emit them up to the final
+    # cycle of their processor so the timeline shows the cut-off work.
+    for thread, (start, proc, incarnation) in sorted(open_attempts.items()):
+        end = tracer.proc_cycles[proc] if proc < len(tracer.proc_cycles) else start + 1
+        trace_events.append(
+            {
+                "name": f"tx {thread}#{incarnation} unfinished",
+                "cat": "tx",
+                "ph": "X",
+                "ts": start,
+                "dur": max(1, end - start),
+                "pid": 0,
+                "tid": proc,
+                "args": {"thread": thread, "incarnation": incarnation,
+                         "outcome": "unfinished"},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "tool": "repro.obs",
+            "events_recorded": len(tracer.events),
+            "events_dropped": tracer.dropped,
+        },
+    }
+
+
+def write_chrome_trace(tracer: EventTracer, path: str, label: str = "repro") -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer, label=label), handle)
+
+
+def to_jsonl(tracer: EventTracer) -> Iterator[str]:
+    """One compact JSON object per event, in emission order."""
+    for event in tracer.events:
+        yield json.dumps(event.to_dict(), separators=(",", ":"))
+
+
+def write_jsonl(tracer: EventTracer, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in to_jsonl(tracer):
+            handle.write(line)
+            handle.write("\n")
+
+
+def validate_chrome_trace(document: Dict[str, object]) -> Optional[str]:
+    """Schema check for the ``trace_event`` JSON; returns an error or None.
+
+    Used by the trace CLI (post-write sanity) and the schema tests.
+    """
+    if not isinstance(document, dict):
+        return "document is not an object"
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return "traceEvents missing or not a list"
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            return f"event {index} is not an object"
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                return f"event {index} missing {key!r}"
+        phase = event["ph"]
+        if phase not in ("M", "X", "i", "b", "e"):
+            return f"event {index} has unknown phase {phase!r}"
+        if phase != "M" and "ts" not in event:
+            return f"event {index} missing 'ts'"
+        if phase == "X":
+            if "dur" not in event or event["dur"] < 0:
+                return f"event {index} missing non-negative 'dur'"
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            return f"event {index} missing instant scope 's'"
+    return None

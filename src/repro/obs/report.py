@@ -1,0 +1,97 @@
+"""The per-run observability report.
+
+Joins the cycle-attribution profile with the run's headline numbers and
+the :class:`~repro.sim.stats.StatsRegistry` snapshot into one plain-text
+document — the "why did the cycles go where they went" companion to the
+paper-style tables the harnesses already print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.profiler import BUCKETS, CycleProfile
+
+
+def _format_table(headers, rows, title=""):
+    # Imported lazily: repro.harness imports repro.obs (runner attaches
+    # tracers), so a module-level import here would be circular.
+    from repro.harness.report import format_table
+
+    return format_table(headers, rows, title=title)
+
+#: Human labels for the profiler buckets, in report order.
+_BUCKET_LABELS = {
+    "useful_work": "useful work (committed)",
+    "stalled_on_conflict": "stalled on conflict",
+    "aborted_discarded": "aborted & discarded",
+    "overflow_walk": "overflow-table walks",
+    "non_tx": "non-transactional",
+}
+
+
+def _percent(part: int, whole: int) -> str:
+    return f"{100.0 * part / whole:.1f}%" if whole else "0.0%"
+
+
+def render_profile(profile: CycleProfile) -> str:
+    """The cycle-attribution breakdown: aggregate + per-processor."""
+    aggregate = profile.aggregate()
+    total = profile.total_cycles
+    rows = [
+        [_BUCKET_LABELS[bucket], aggregate[bucket], _percent(aggregate[bucket], total)]
+        for bucket in BUCKETS
+    ]
+    rows.append(["total", total, "100.0%"])
+    lines = [
+        _format_table(
+            ["Bucket", "Cycles", "Share"], rows,
+            title="Cycle attribution (all processors)",
+        ),
+        "",
+    ]
+    per_proc_rows: List[List[object]] = []
+    for proc_profile in profile.processors:
+        per_proc_rows.append(
+            [f"proc {proc_profile.proc}"]
+            + [getattr(proc_profile, bucket) for bucket in BUCKETS]
+            + [proc_profile.total]
+        )
+    lines.append(
+        _format_table(
+            ["Processor", "useful", "stalled", "aborted", "ovf-walk", "non-tx", "total"],
+            per_proc_rows,
+            title="Per-processor breakdown",
+        )
+    )
+    return "\n".join(lines)
+
+
+def render_run_report(
+    profile: CycleProfile,
+    result=None,
+    stats: Optional[Dict[str, object]] = None,
+    title: str = "Traced run",
+) -> str:
+    """Profile + RunResult headline + stats snapshot, as one document."""
+    lines = [f"== {title} ==", ""]
+    if result is not None:
+        lines += [
+            f"cycles={result.cycles}  commits={result.commits}  "
+            f"aborts={result.aborts}  nontx_items={result.nontx_items}",
+            f"throughput={result.throughput:.1f} commits/Mcycle  "
+            f"abort_ratio={result.abort_ratio:.3f}",
+            "",
+        ]
+    lines.append(render_profile(profile))
+    snapshot = stats if stats is not None else (
+        result.stats if result is not None else None
+    )
+    if snapshot:
+        lines.append("")
+        rows = [
+            [name, value if not isinstance(value, float) else f"{value:.2f}"]
+            for name, value in sorted(snapshot.items())
+        ]
+        lines.append(_format_table(["Stat", "Value"], rows, title="Machine statistics"))
+    return "\n".join(lines)

@@ -1,0 +1,282 @@
+"""Transaction-lifecycle tracing (the observability tentpole).
+
+Every layer of the simulator reports structured, cycle-stamped events
+through a :class:`Tracer`.  Two implementations exist:
+
+* :class:`NullTracer` — the default.  ``enabled`` is ``False`` and every
+  call site guards with ``if tracer.enabled:``, so the hot path pays one
+  attribute read per potential event and benchmarks are unaffected.
+* :class:`EventTracer` — records :class:`TraceEvent` entries in emission
+  order.  Per-processor streams are cycle-monotonic (each processor's
+  clock only moves forward), which is what the cycle-attribution
+  profiler and the exporters rely on.
+
+Tracing is purely observational: attaching an :class:`EventTracer`
+never changes a single simulated cycle, so a traced run reproduces the
+untraced run bit for bit (tests/obs/test_trace_integration.py).
+
+Event taxonomy (the ``kind`` field of :class:`TraceEvent`):
+
+========================  =====================================================
+``tx_begin``              transaction attempt starts (thread, incarnation)
+``tx_commit``             attempt committed
+``tx_abort``              attempt aborted (``cause`` + wounding processor)
+``tx_read`` / ``tx_write``  sampled transactional data accesses
+``conflict_detected``     a CST-setting response (R-W / W-R / W-W / SI)
+``aou_alert``             alert-on-update delivery (line + reason)
+``conflict_stall``        cycles spent waiting on an enemy (duration)
+``overflow_spill``        TMI eviction walked into the overflow table
+``overflow_walk``         OT refill walk on an L1 miss
+``overflow_copyback``     post-commit OT drain (controller-overlapped)
+``preempt`` / ``yield``   scheduler took the core away / thread gave it up
+``dispatch`` / ``retire``  thread installed on a core / finished for good
+``coh_request``           directory request (type, line, grant, nack)
+``coh_response``          signature-qualified forwarded response
+``coh_evict``             L1 eviction (victimized line + state)
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+#: CST kinds reported by ``conflict_detected`` events.  "SI" marks a
+#: strong-isolation abort caused by a non-transactional writer.
+CST_KINDS = ("R-W", "W-R", "W-W", "SI")
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One structured, cycle-stamped observation."""
+
+    kind: str
+    cycle: int
+    proc: int
+    thread: int = -1
+    line: int = -1
+    dur: int = 0
+    cause: str = ""
+    #: Event-specific payload (responder, CST kind, grant state, ...).
+    data: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "proc": self.proc,
+        }
+        if self.thread >= 0:
+            out["thread"] = self.thread
+        if self.line >= 0:
+            out["line"] = self.line
+        if self.dur:
+            out["dur"] = self.dur
+        if self.cause:
+            out["cause"] = self.cause
+        if self.data:
+            out.update(self.data)
+        return out
+
+
+class Tracer:
+    """The tracing interface every simulator layer emits through.
+
+    ``enabled`` is the contract: call sites test it before building any
+    event payload, so a disabled tracer costs one attribute read.
+    """
+
+    enabled = False
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def tx_begin(self, proc: int, thread: int, cycle: int, system: str,
+                 incarnation: int) -> None:
+        pass
+
+    def tx_commit(self, proc: int, thread: int, cycle: int) -> None:
+        pass
+
+    def tx_abort(self, proc: int, thread: int, cycle: int, cause: str,
+                 by: int = -1) -> None:
+        pass
+
+    def tx_access(self, proc: int, thread: int, cycle: int, rw: str,
+                  address: int) -> None:
+        pass
+
+    # -- conflicts and alerts --------------------------------------------------
+
+    def conflict(self, proc: int, cycle: int, responder: int, cst_kind: str,
+                 line: int) -> None:
+        pass
+
+    def aou_alert(self, proc: int, cycle: int, line: int, reason: str) -> None:
+        pass
+
+    def stall(self, proc: int, cycle: int, dur: int, enemy: int = -1,
+              settled: bool = True) -> None:
+        pass
+
+    # -- overflow machinery ----------------------------------------------------
+
+    def overflow(self, proc: int, cycle: int, what: str, line: int = -1,
+                 dur: int = 0) -> None:
+        pass
+
+    # -- scheduling ------------------------------------------------------------
+
+    def sched(self, proc: int, cycle: int, what: str, thread: int,
+              status: str = "") -> None:
+        pass
+
+    # -- coherence -------------------------------------------------------------
+
+    def coherence(self, proc: int, cycle: int, msg: str, line: int,
+                  responder: int = -1, detail: str = "") -> None:
+        pass
+
+    # -- run boundary ----------------------------------------------------------
+
+    def finalize(self, proc_cycles: List[int]) -> None:
+        """Called once by the scheduler with each processor's final clock."""
+        pass
+
+
+class NullTracer(Tracer):
+    """The zero-overhead default; every hook is a no-op."""
+
+    __slots__ = ()
+
+
+#: Shared do-nothing instance installed everywhere by default.
+NULL_TRACER = NullTracer()
+
+
+class EventTracer(Tracer):
+    """Records structured events for profiling and export.
+
+    Args:
+        sample_memory: record one in N ``tx_read``/``tx_write`` events
+            (1 = every access).  Lifecycle and conflict events are never
+            sampled.
+        trace_coherence: record per-message directory/L1 events.  These
+            dominate event volume; disable for long runs.
+        max_events: stop recording past this many events (``dropped``
+            counts the overflow).  ``None`` = unbounded.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sample_memory: int = 1,
+        trace_coherence: bool = True,
+        max_events: Optional[int] = None,
+    ):
+        if sample_memory < 1:
+            raise ValueError("sample_memory must be >= 1")
+        self.sample_memory = sample_memory
+        self.trace_coherence = trace_coherence
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        #: Final per-processor cycle counts (set by finalize()).
+        self.proc_cycles: List[int] = []
+        self._access_tick = 0
+
+    # -- recording core --------------------------------------------------------
+
+    def _record(self, event: TraceEvent) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # -- transaction lifecycle -------------------------------------------------
+
+    def tx_begin(self, proc, thread, cycle, system, incarnation):
+        self._record(TraceEvent("tx_begin", cycle, proc, thread,
+                                data={"system": system, "incarnation": incarnation}))
+
+    def tx_commit(self, proc, thread, cycle):
+        self._record(TraceEvent("tx_commit", cycle, proc, thread))
+
+    def tx_abort(self, proc, thread, cycle, cause, by=-1):
+        self._record(TraceEvent("tx_abort", cycle, proc, thread, cause=cause,
+                                data={"by": by}))
+
+    def tx_access(self, proc, thread, cycle, rw, address):
+        self._access_tick += 1
+        if self._access_tick % self.sample_memory:
+            return
+        self._record(TraceEvent(f"tx_{rw}", cycle, proc, thread, line=address))
+
+    # -- conflicts and alerts --------------------------------------------------
+
+    def conflict(self, proc, cycle, responder, cst_kind, line):
+        self._record(TraceEvent("conflict_detected", cycle, proc, line=line,
+                                data={"responder": responder, "cst": cst_kind}))
+
+    def aou_alert(self, proc, cycle, line, reason):
+        self._record(TraceEvent("aou_alert", cycle, proc, line=line, cause=reason))
+
+    def stall(self, proc, cycle, dur, enemy=-1, settled=True):
+        self._record(TraceEvent("conflict_stall", cycle, proc, dur=dur,
+                                data={"enemy": enemy, "settled": settled}))
+
+    # -- overflow machinery ----------------------------------------------------
+
+    def overflow(self, proc, cycle, what, line=-1, dur=0):
+        self._record(TraceEvent(f"overflow_{what}", cycle, proc, line=line, dur=dur))
+
+    # -- scheduling ------------------------------------------------------------
+
+    def sched(self, proc, cycle, what, thread, status=""):
+        self._record(TraceEvent(what, cycle, proc, thread, cause=status))
+
+    # -- coherence -------------------------------------------------------------
+
+    def coherence(self, proc, cycle, msg, line, responder=-1, detail=""):
+        if not self.trace_coherence:
+            return
+        data = {"responder": responder} if responder >= 0 else None
+        self._record(TraceEvent(msg, cycle, proc, line=line, cause=detail,
+                                data=data))
+
+    # -- run boundary ----------------------------------------------------------
+
+    def finalize(self, proc_cycles):
+        self.proc_cycles = list(proc_cycles)
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def per_processor(self) -> Dict[int, List[TraceEvent]]:
+        """Events grouped by processor, preserving emission order."""
+        grouped: Dict[int, List[TraceEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.proc, []).append(event)
+        return grouped
+
+
+def classify_conflict(access_kind, response_kind) -> Optional[str]:
+    """Map a (requester access, responder signature hit) pair to a CST kind.
+
+    The requester's view: its TLoad that hit a remote Wsig is an R-W
+    conflict; its TStore against a remote Wsig is W-W; against an
+    exposed read (remote Rsig) it is W-R.  Accepts the coherence enums
+    or their string values (this module stays dependency-free).
+    """
+    access = getattr(access_kind, "value", access_kind)
+    response = getattr(response_kind, "value", response_kind)
+    if response == "Threatened":
+        return "R-W" if access == "TLoad" else "W-W"
+    if response == "Exposed-Read" and access == "TStore":
+        return "W-R"
+    return None

@@ -134,7 +134,16 @@ class FlexTMRuntime(TMBackend):
                 ruling = self.manager.decide(attempt, my_descriptor.accesses, enemy.accesses)
                 if ruling.decision is Decision.WAIT:
                     attempt += 1
-                    yield ("work", max(1, ruling.backoff_cycles))
+                    backoff = max(1, ruling.backoff_cycles)
+                    yield ("work", backoff)
+                    tracer = self.machine.tracer
+                    if tracer.enabled and thread.processor is not None:
+                        tracer.stall(
+                            thread.processor,
+                            self.machine.processors[thread.processor].clock.now,
+                            backoff,
+                            enemy=enemy_proc,
+                        )
                     # A committing enemy aborts *us* during this window;
                     # the scheduler's abort poll unwinds the generator.
                     continue

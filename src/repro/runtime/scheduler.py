@@ -38,6 +38,9 @@ class RunResult:
     per_thread: List[Dict[str, int]]
     stats: Dict[str, int]
     conflict_degrees: List[int]
+    #: The run's EventTracer when one was attached (None otherwise).
+    #: Excluded from comparison/repr: tracing never changes the numbers.
+    trace: Optional[object] = dataclasses.field(default=None, compare=False, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -188,6 +191,12 @@ class Scheduler:
     def _preempt(self, proc: int, slot: _Slot) -> None:
         """Quantum expiry: switch the running thread out (Section 5)."""
         thread = slot.thread
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.sched(
+                proc, self.machine.processors[proc].clock.now, "preempt",
+                thread.thread_id,
+            )
         thread.saved_ctx = thread.backend.suspend(thread)
         self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
         self.machine.stats.counter("ctxsw.switches").increment()
@@ -201,6 +210,12 @@ class Scheduler:
             self.machine.processors[proc].clock.advance(1)
             return
         thread = slot.thread
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.sched(
+                proc, self.machine.processors[proc].clock.now, "yield",
+                thread.thread_id,
+            )
         thread.saved_ctx = thread.backend.suspend(thread)
         self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
         self.machine.stats.counter("ctxsw.yields").increment()
@@ -222,12 +237,23 @@ class Scheduler:
         thread.saved_ctx = None
         if status == "aborted":
             slot.pending_exc = TransactionAborted("aborted while descheduled")
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.sched(
+                proc, clock.now, "dispatch", thread.thread_id, status=status or ""
+            )
         slot.slice_start = clock.now
         self._running[proc] = slot
 
     def _retire(self, proc: int, slot: _Slot) -> None:
         slot.done = True
         slot.thread.processor = None
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.sched(
+                proc, self.machine.processors[proc].clock.now, "retire",
+                slot.thread.thread_id,
+            )
         self._running.pop(proc, None)
         if self._ready:
             self._dispatch(proc)
@@ -241,6 +267,9 @@ class Scheduler:
         nontx = sum(thread.nontx_items for thread in threads)
         elapsed = min(self.machine.max_cycle(), cycle_limit)
         degrees = self.machine.stats.histogram("cst.conflict_degree")
+        tracer = self.machine.tracer
+        if tracer.enabled:
+            tracer.finalize([proc.clock.now for proc in self.machine.processors])
         return RunResult(
             cycles=elapsed,
             commits=commits,
@@ -257,4 +286,5 @@ class Scheduler:
             ],
             stats=self.machine.stats.snapshot(),
             conflict_degrees=list(degrees._samples),
+            trace=tracer if tracer.enabled else None,
         )

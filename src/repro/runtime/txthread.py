@@ -16,6 +16,7 @@ import dataclasses
 from typing import Callable, Iterable, Iterator, Optional, Tuple  # noqa: F401
 
 from repro.errors import TransactionAborted
+from repro.obs.tracer import NULL_TRACER
 from repro.runtime.api import TMBackend, TxContext
 
 
@@ -80,20 +81,37 @@ class TxThread:
 
     def _run_transaction(self, ctx: TxContext, body: Callable) -> Iterator[Tuple]:
         aborts_in_a_row = 0
+        incarnation = 0
         while True:
             try:
                 self.in_transaction = True
+                incarnation += 1
+                tracer = self._tracer()
+                if tracer.enabled:
+                    tracer.tx_begin(
+                        self.processor, self.thread_id, self._now(),
+                        self.backend.name, incarnation,
+                    )
                 yield from self.backend.begin(self)
                 yield from body(ctx)
                 yield from self.backend.commit(self)
                 self.in_transaction = False
                 self.commits += 1
+                if tracer.enabled:
+                    tracer.tx_commit(self.processor, self.thread_id, self._now())
                 return
-            except TransactionAborted:
+            except TransactionAborted as abort:
                 self.in_transaction = False
                 self.aborts += 1
                 aborts_in_a_row += 1
                 yield from self.backend.on_abort(self)
+                tracer = self._tracer()
+                if tracer.enabled:
+                    tracer.tx_abort(
+                        self.processor, self.thread_id, self._now(),
+                        cause=str(abort) or "aborted",
+                        by=getattr(abort, "by", -1),
+                    )
                 if self.abort_work is not None:
                     yield from self.abort_work(ctx)
                     self.nontx_items += 1
@@ -102,6 +120,19 @@ class TxThread:
                 backoff = self._retry_backoff(aborts_in_a_row)
                 if backoff:
                     yield ("work", backoff)
+                    if tracer.enabled and self.processor is not None:
+                        tracer.stall(self.processor, self._now(), backoff)
+
+    def _tracer(self):
+        machine = getattr(self.backend, "machine", None)
+        return machine.tracer if machine is not None else NULL_TRACER
+
+    def _now(self) -> int:
+        """The owning processor's current cycle (0 when descheduled)."""
+        machine = getattr(self.backend, "machine", None)
+        if machine is None or self.processor is None:
+            return 0
+        return machine.processors[self.processor].clock.now
 
     def _retry_backoff(self, aborts_in_a_row: int) -> int:
         backoff_fn = getattr(self.backend, "retry_backoff", None)

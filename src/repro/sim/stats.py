@@ -111,11 +111,25 @@ class StatsRegistry:
         for name in sorted(self._counters):
             yield name, self._counters[name].value
 
-    def snapshot(self) -> Dict[str, int]:
-        """Copy of all counter values (histograms summarized as counts)."""
-        data = {name: counter.value for name, counter in self._counters.items()}
+    def histograms(self) -> Iterator[Tuple[str, Histogram]]:
+        for name in sorted(self._histograms):
+            yield name, self._histograms[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Copy of all counter values plus histogram summaries.
+
+        Each histogram contributes ``.count``, ``.mean``, ``.max`` and
+        ``.p95`` entries so snapshots capture distribution shape, not
+        just sample volume.
+        """
+        data: Dict[str, float] = {
+            name: counter.value for name, counter in self._counters.items()
+        }
         for name, histogram in self._histograms.items():
             data[f"{name}.count"] = histogram.count
+            data[f"{name}.mean"] = histogram.mean
+            data[f"{name}.max"] = histogram.maximum
+            data[f"{name}.p95"] = histogram.percentile(0.95)
         return data
 
     def reset(self) -> None:

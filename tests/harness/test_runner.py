@@ -94,3 +94,32 @@ def test_normalized_throughput():
         )
     )
     assert normalized_throughput(result, baseline) == pytest.approx(1.0, rel=0.05)
+
+
+def test_repro_cycles_read_at_resolve_time(monkeypatch):
+    from repro.harness import runner
+
+    config = ExperimentConfig(workload="HashTable", system="FlexTM", threads=1)
+    monkeypatch.delenv("REPRO_CYCLES", raising=False)
+    assert config.resolved_cycle_limit() == runner.DEFAULT_CYCLE_LIMIT
+    # A post-import environment change takes effect immediately — the
+    # old code froze the value at import time.
+    monkeypatch.setenv("REPRO_CYCLES", "123456")
+    assert config.resolved_cycle_limit() == 123456
+    monkeypatch.delenv("REPRO_CYCLES")
+    assert config.resolved_cycle_limit() == runner.DEFAULT_CYCLE_LIMIT
+
+
+def test_repro_cycles_rejects_garbage(monkeypatch):
+    config = ExperimentConfig(workload="HashTable", system="FlexTM", threads=1)
+    monkeypatch.setenv("REPRO_CYCLES", "not-a-number")
+    with pytest.raises(ValueError):
+        config.resolved_cycle_limit()
+
+
+def test_explicit_cycle_limit_beats_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_CYCLES", "123456")
+    config = ExperimentConfig(
+        workload="HashTable", system="FlexTM", threads=1, cycle_limit=777
+    )
+    assert config.resolved_cycle_limit() == 777

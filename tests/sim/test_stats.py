@@ -80,3 +80,25 @@ def test_registry_reset_clears_everything():
     registry.reset()
     assert registry.counter("events").value == 0
     assert registry.histogram("sizes").count == 0
+
+
+def test_registry_snapshot_summarizes_histograms():
+    registry = StatsRegistry()
+    histogram = registry.histogram("sizes")
+    for sample in range(1, 101):
+        histogram.record(sample)
+    snapshot = registry.snapshot()
+    assert snapshot["sizes.count"] == 100
+    assert snapshot["sizes.mean"] == pytest.approx(50.5)
+    assert snapshot["sizes.max"] == 100
+    assert snapshot["sizes.p95"] == histogram.percentile(0.95)
+
+
+def test_registry_histograms_iterator_sorted():
+    registry = StatsRegistry()
+    registry.histogram("zeta").record(1)
+    registry.histogram("alpha").record(2)
+    names = [name for name, _ in registry.histograms()]
+    assert names == ["alpha", "zeta"]
+    pairs = dict(registry.histograms())
+    assert pairs["alpha"].total == 2

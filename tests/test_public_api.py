@@ -14,6 +14,7 @@ PUBLIC_MODULES = [
     "repro.runtime",
     "repro.stm",
     "repro.workloads",
+    "repro.obs",
     "repro.tools",
     "repro.verify",
     "repro.area",

@@ -2,13 +2,16 @@
 """Design-space exploration: sweep, export, diagnose.
 
 Shows the library as a research tool rather than a fixed benchmark:
-run a cartesian sweep over systems and thread counts, export the rows
-as CSV, and run the pathology analyzer over the interesting corners to
-*explain* the curves (FriendlyFire / DuellingUpgrade / Convoying, per
-the Bobba et al. taxonomy the paper uses).
+run a cartesian sweep over systems and thread counts — fanned out
+across every CPU core; rows are bit-identical to a serial run — export
+the rows as CSV, and run the pathology analyzer over the interesting
+corners to *explain* the curves (FriendlyFire / DuellingUpgrade /
+Convoying, per the Bobba et al. taxonomy the paper uses).
 
 Run:  python examples/design_space_sweep.py
 """
+
+import os
 
 from repro.core.descriptor import ConflictMode
 from repro.harness.pathology import analyze, render
@@ -27,9 +30,10 @@ def main() -> None:
         seeds=(42,),
         cycle_limit=CYCLES,
     )
+    jobs = os.cpu_count() or 1
     print(f"sweeping {spec.size()} configurations "
-          f"({CYCLES} simulated cycles each)...\n")
-    rows = run_sweep(spec)
+          f"({CYCLES} simulated cycles each, {jobs} worker(s))...\n")
+    rows = run_sweep(spec, jobs=jobs)
     print(to_csv(rows))
 
     print("pathology analysis of the contended corners:")

@@ -11,7 +11,17 @@ Usage::
     python -m repro.harness all
 
 Any figure/overflow artifact accepts ``--trace-out DIR`` to also dump
-one Chrome/Perfetto trace per measurement point.
+one Chrome/Perfetto trace per measurement point, and ``--jobs N`` to
+fan independent measurement points out across worker processes
+(``--jobs 0`` = one per CPU; output is bit-identical to ``--jobs 1``).
+
+Free-form sweeps run through the ``sweep`` subcommand::
+
+    python -m repro.harness sweep --workloads HashTable,RBTree \\
+        --systems FlexTM,CGL --threads 1,2,4 --jobs 4 \\
+        --csv-out sweep.csv --bench-out BENCH_sweep.json
+
+See ``python -m repro.harness sweep --help`` and docs/PARALLEL.md.
 
 A single run can be traced and inspected directly::
 
@@ -40,6 +50,12 @@ def main(argv=None) -> int:
         from repro.harness.trace import run_trace_command
 
         return run_trace_command(argv[1:])
+    if argv and argv[0] == "sweep":
+        # Likewise option-only grammar, dispatched before the artifact
+        # parser.
+        from repro.harness.sweep import run_sweep_command
+
+        return run_sweep_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate FlexTM paper tables and figures.",
@@ -70,7 +86,16 @@ def main(argv=None) -> int:
         help="write one Chrome trace per measurement point into DIR "
         "(figure4 / figure5 / overflow)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent measurement points "
+        "(0 = one per CPU, 1 = serial; figure4 / conflicts / figure5 / "
+        "overflow)",
+    )
     args = parser.parse_args(argv)
+    jobs = args.jobs if args.jobs >= 1 else None  # None = one per CPU
 
     wants = lambda name: args.artifact in (name, "all")
 
@@ -89,7 +114,7 @@ def main(argv=None) -> int:
 
         results = run_figure4(
             thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed,
-            trace_out=args.trace_out,
+            trace_out=args.trace_out, jobs=jobs,
         )
         print(render_figure4(results))
         if args.chart:
@@ -104,7 +129,9 @@ def main(argv=None) -> int:
 
         print(
             render_conflict_table(
-                run_conflict_table(cycle_limit=args.cycles, seed=args.seed)
+                run_conflict_table(
+                    cycle_limit=args.cycles, seed=args.seed, jobs=jobs
+                )
             )
         )
         print()
@@ -118,7 +145,7 @@ def main(argv=None) -> int:
 
         policy_results = run_policy_comparison(
             thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed,
-            trace_out=args.trace_out,
+            trace_out=args.trace_out, jobs=jobs,
         )
         print(render_policy(policy_results))
         if args.chart:
@@ -130,7 +157,9 @@ def main(argv=None) -> int:
         print()
         print(
             render_multiprogramming(
-                run_multiprogramming(cycle_limit=args.cycles, seed=args.seed)
+                run_multiprogramming(
+                    cycle_limit=args.cycles, seed=args.seed, jobs=jobs
+                )
             )
         )
         print()
@@ -140,7 +169,7 @@ def main(argv=None) -> int:
         print(
             render_overflow(
                 run_overflow_study(
-                    cycle_limit=args.cycles, trace_out=args.trace_out
+                    cycle_limit=args.cycles, trace_out=args.trace_out, jobs=jobs
                 )
             )
         )

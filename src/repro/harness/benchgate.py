@@ -1,0 +1,108 @@
+"""CI benchmark-regression gate over ``BENCH_sweep.json``.
+
+Usage::
+
+    python -m repro.harness.benchgate BENCH_sweep.json \
+        --baseline benchmarks/baselines/BENCH_sweep_baseline.json \
+        --max-regression 2.0
+
+Exit status is non-zero when
+
+* the document fails the ``repro.bench_sweep/v1`` schema check,
+* any point errored (``num_errors > 0``), or
+* ``total_wall_time_s`` exceeds ``--max-regression`` times the
+  baseline's total.
+
+The baseline is a committed BENCH_sweep.json from a known-good run of
+the same fixed sweep.  Wall-clock comparisons across heterogeneous
+hosts are inherently noisy, which is why the gate only fails on a
+coarse (default 2x) blow-up — it catches "the sweep got pathologically
+slower", not single-digit-percent drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness.parallel import validate_bench_payload
+
+
+def _load(path: str):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"benchgate: cannot read {path}: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.benchgate",
+        description="Fail CI when a BENCH_sweep.json shows errors or a "
+        "wall-time regression against a committed baseline.",
+    )
+    parser.add_argument("bench", help="BENCH_sweep.json produced by this run")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="committed baseline BENCH_sweep.json to compare totals against",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when total wall time exceeds baseline * this factor "
+        "(default 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    document = _load(args.bench)
+    error = validate_bench_payload(document)
+    if error is not None:
+        print(f"benchgate: FAIL — schema: {error}")
+        return 1
+
+    failures = []
+    if document["num_errors"]:
+        bad = [point for point in document["points"] if not point["ok"]]
+        for point in bad:
+            print(
+                f"benchgate: errored point {point['label'] or '?'}: "
+                f"{point['status']} {point.get('error', '')}".rstrip()
+            )
+        failures.append(f"{document['num_errors']} errored point(s)")
+
+    total = document["total_wall_time_s"]
+    if args.baseline:
+        baseline = _load(args.baseline)
+        baseline_error = validate_bench_payload(baseline)
+        if baseline_error is not None:
+            print(f"benchgate: FAIL — baseline schema: {baseline_error}")
+            return 1
+        budget = baseline["total_wall_time_s"] * args.max_regression
+        print(
+            f"benchgate: total {total:.2f}s vs baseline "
+            f"{baseline['total_wall_time_s']:.2f}s "
+            f"(budget {budget:.2f}s at {args.max_regression:g}x)"
+        )
+        if total > budget:
+            failures.append(
+                f"wall time {total:.2f}s exceeds {args.max_regression:g}x "
+                f"baseline ({budget:.2f}s)"
+            )
+
+    if failures:
+        print(f"benchgate: FAIL — {'; '.join(failures)}")
+        return 1
+    print(
+        f"benchgate: OK — {document['num_points']} points, 0 errors, "
+        f"{total:.2f}s total, speedup "
+        f"{document['speedup_vs_serial_estimate']:.2f}x vs serial estimate"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

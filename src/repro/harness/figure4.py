@@ -19,8 +19,9 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.descriptor import ConflictMode
+from repro.harness.parallel import PointSpec, run_points, unwrap
 from repro.harness.report import format_series, format_table
-from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.runner import ExperimentConfig
 from repro.sim.stats import Histogram
 
 WS1 = ["HashTable", "RBTree", "LFUCache", "RandomGraph", "Delaunay"]
@@ -54,46 +55,57 @@ def run_figure4(
     cycle_limit: int = 0,
     seed: int = 42,
     trace_out: Optional[str] = None,
+    jobs: int = 1,
 ) -> Dict[str, List[Figure4Point]]:
     """Run the full Figure 4 sweep; returns points grouped by workload.
 
     ``trace_out`` names a directory that receives one Chrome trace per
-    measurement point (sparse sampling, coherence events off).
+    measurement point (sparse sampling, coherence events off); traces
+    are written by whichever worker ran the point.  ``jobs > 1`` fans
+    the points (baselines included) out across processes — output is
+    bit-identical to the serial run.
     """
-    results: Dict[str, List[Figure4Point]] = {}
+    specs: List[PointSpec] = []
     for workload in workloads:
-        baseline = run_experiment(
-            ExperimentConfig(
-                workload=workload, system="CGL", threads=1, cycle_limit=cycle_limit, seed=seed
+        specs.append(
+            PointSpec(
+                config=ExperimentConfig(
+                    workload=workload, system="CGL", threads=1,
+                    cycle_limit=cycle_limit, seed=seed,
+                ),
+                label=f"figure4:{workload}:baseline",
             )
         )
-        base_tput = baseline.throughput or 1.0
+    for workload in workloads:
+        for system in systems_for(workload):
+            for threads in thread_points:
+                specs.append(
+                    PointSpec(
+                        config=ExperimentConfig(
+                            workload=workload,
+                            system=system,
+                            threads=threads,
+                            mode=ConflictMode.EAGER,
+                            cycle_limit=cycle_limit,
+                            seed=seed,
+                        ),
+                        label=f"figure4:{workload}:{system}:{threads}t",
+                        trace_dir=trace_out,
+                        trace_name=f"figure4_{workload}_{system}_{threads}t",
+                    )
+                )
+    outcomes = iter(run_points(specs, jobs=jobs))
+    baselines = {
+        workload: unwrap(next(outcomes)).throughput or 1.0
+        for workload in workloads
+    }
+    results: Dict[str, List[Figure4Point]] = {}
+    for workload in workloads:
+        base_tput = baselines[workload]
         points: List[Figure4Point] = []
         for system in systems_for(workload):
             for threads in thread_points:
-                tracer = None
-                if trace_out:
-                    from repro.harness.trace import sweep_tracer
-
-                    tracer = sweep_tracer()
-                result = run_experiment(
-                    ExperimentConfig(
-                        workload=workload,
-                        system=system,
-                        threads=threads,
-                        mode=ConflictMode.EAGER,
-                        cycle_limit=cycle_limit,
-                        seed=seed,
-                        tracer=tracer,
-                    )
-                )
-                if tracer is not None:
-                    from repro.harness.trace import write_point_trace
-
-                    write_point_trace(
-                        tracer, trace_out,
-                        f"figure4_{workload}_{system}_{threads}t",
-                    )
+                result = unwrap(next(outcomes))
                 points.append(
                     Figure4Point(
                         workload=workload,
@@ -114,22 +126,30 @@ def run_conflict_table(
     thread_points: Sequence[int] = (8, 16),
     cycle_limit: int = 0,
     seed: int = 42,
+    jobs: int = 1,
 ) -> Dict[str, Dict[int, Dict[str, int]]]:
     """The 'Conflicting Transactions' table accompanying Figure 4."""
+    specs = [
+        PointSpec(
+            config=ExperimentConfig(
+                workload=workload,
+                system="FlexTM",
+                threads=threads,
+                mode=ConflictMode.EAGER,
+                cycle_limit=cycle_limit,
+                seed=seed,
+            ),
+            label=f"conflicts:{workload}:{threads}t",
+        )
+        for workload in workloads
+        for threads in thread_points
+    ]
+    outcomes = iter(run_points(specs, jobs=jobs))
     table: Dict[str, Dict[int, Dict[str, int]]] = {}
     for workload in workloads:
         table[workload] = {}
         for threads in thread_points:
-            result = run_experiment(
-                ExperimentConfig(
-                    workload=workload,
-                    system="FlexTM",
-                    threads=threads,
-                    mode=ConflictMode.EAGER,
-                    cycle_limit=cycle_limit,
-                    seed=seed,
-                )
-            )
+            result = unwrap(next(outcomes))
             histogram = Histogram("degrees")
             for sample in result.conflict_degrees:
                 histogram.record(sample)

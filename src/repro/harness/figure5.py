@@ -21,8 +21,9 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.descriptor import ConflictMode
+from repro.harness.parallel import PointSpec, run_points, unwrap
 from repro.harness.report import format_series
-from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.runner import ExperimentConfig
 
 POLICY_WORKLOADS = ["RBTree", "Vacation-High", "LFUCache", "RandomGraph"]
 MIX_WORKLOADS = ["RandomGraph", "LFUCache"]
@@ -46,50 +47,59 @@ def run_policy_comparison(
     cycle_limit: int = 0,
     seed: int = 42,
     trace_out: Optional[str] = None,
+    jobs: int = 1,
 ) -> Dict[str, List[PolicyPoint]]:
     """Figure 5(a)-(d): FlexTM Eager vs Lazy.
 
-    ``trace_out`` names a directory for one Chrome trace per point.
+    ``trace_out`` names a directory for one Chrome trace per point
+    (written by the worker that ran it); ``jobs > 1`` fans the points
+    out across processes with bit-identical output.
     """
-    results: Dict[str, List[PolicyPoint]] = {}
+    specs: List[PointSpec] = []
     for workload in workloads:
-        baseline = run_experiment(
-            ExperimentConfig(
-                workload=workload,
-                system="FlexTM",
-                threads=1,
-                mode=ConflictMode.EAGER,
-                cycle_limit=cycle_limit,
-                seed=seed,
+        specs.append(
+            PointSpec(
+                config=ExperimentConfig(
+                    workload=workload,
+                    system="FlexTM",
+                    threads=1,
+                    mode=ConflictMode.EAGER,
+                    cycle_limit=cycle_limit,
+                    seed=seed,
+                ),
+                label=f"figure5:{workload}:baseline",
             )
         )
-        base_tput = baseline.throughput or 1.0
+    for workload in workloads:
+        for mode in (ConflictMode.EAGER, ConflictMode.LAZY):
+            for threads in thread_points:
+                specs.append(
+                    PointSpec(
+                        config=ExperimentConfig(
+                            workload=workload,
+                            system="FlexTM",
+                            threads=threads,
+                            mode=mode,
+                            cycle_limit=cycle_limit,
+                            seed=seed,
+                        ),
+                        label=f"figure5:{workload}:{mode.value}:{threads}t",
+                        trace_dir=trace_out,
+                        trace_name=f"figure5_{workload}_{mode.value}_{threads}t",
+                    )
+                )
+    outcomes = iter(run_points(specs, jobs=jobs))
+    baselines = {
+        workload: unwrap(next(outcomes)).throughput or 1.0
+        for workload in workloads
+    }
+    results: Dict[str, List[PolicyPoint]] = {}
+    for workload in workloads:
+        base_tput = baselines[workload]
         points: List[PolicyPoint] = []
         for mode in (ConflictMode.EAGER, ConflictMode.LAZY):
             for threads in thread_points:
-                tracer = None
-                if trace_out:
-                    from repro.harness.trace import sweep_tracer
-
-                    tracer = sweep_tracer()
-                result = run_experiment(
-                    ExperimentConfig(
-                        workload=workload,
-                        system="FlexTM",
-                        threads=threads,
-                        mode=mode,
-                        cycle_limit=cycle_limit,
-                        seed=seed,
-                        tracer=tracer,
-                    )
-                )
-                if tracer is not None:
-                    from repro.harness.trace import write_point_trace
-
-                    write_point_trace(
-                        tracer, trace_out,
-                        f"figure5_{workload}_{mode.value}_{threads}t",
-                    )
+                result = unwrap(next(outcomes))
                 points.append(
                     PolicyPoint(
                         workload=workload,
@@ -119,6 +129,7 @@ def run_multiprogramming(
     thread_points: Sequence[int] = (2, 4, 8),
     cycle_limit: int = 0,
     seed: int = 42,
+    jobs: int = 1,
 ) -> Dict[str, List[MixPoint]]:
     """Figure 5(e)-(f): Prime sharing the machine with a TM workload.
 
@@ -130,22 +141,30 @@ def run_multiprogramming(
     yielding also serializes the transactional side enough to sidestep
     Eager RandomGraph's livelock.
     """
+    specs = [
+        PointSpec(
+            config=ExperimentConfig(
+                workload=workload,
+                system="FlexTM",
+                threads=threads,
+                mode=mode,
+                cycle_limit=cycle_limit,
+                seed=seed,
+                yield_on_abort=True,
+            ),
+            label=f"figure5mix:{workload}:{mode.value}:{threads}t",
+        )
+        for workload in workloads
+        for mode in (ConflictMode.EAGER, ConflictMode.LAZY)
+        for threads in thread_points
+    ]
+    outcomes = iter(run_points(specs, jobs=jobs))
     results: Dict[str, List[MixPoint]] = {}
     for workload in workloads:
         points: List[MixPoint] = []
         for mode in (ConflictMode.EAGER, ConflictMode.LAZY):
             for threads in thread_points:
-                result = run_experiment(
-                    ExperimentConfig(
-                        workload=workload,
-                        system="FlexTM",
-                        threads=threads,
-                        mode=mode,
-                        cycle_limit=cycle_limit,
-                        seed=seed,
-                        yield_on_abort=True,
-                    )
-                )
+                result = unwrap(next(outcomes))
                 prime_items = result.nontx_items
                 points.append(
                     MixPoint(

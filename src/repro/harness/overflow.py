@@ -16,10 +16,11 @@ observes).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.descriptor import ConflictMode
-from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.harness.parallel import PointSpec, run_points, unwrap
+from repro.harness.runner import ExperimentConfig
 from repro.params import CacheGeometry, SystemParams
 
 
@@ -59,6 +60,7 @@ def run_overflow_study(
     cycle_limit: int = 0,
     seeds: Sequence[int] = (42, 43, 44),
     trace_out: Optional[str] = None,
+    jobs: int = 1,
 ) -> Dict[str, OverflowPoint]:
     """OT vs ideal, averaged over seeds, under lazy management.
 
@@ -66,48 +68,43 @@ def run_overflow_study(
     interleaving), so the modest OT cost only emerges from an average —
     the paper's much longer Simics runs average implicitly.  Lazy mode
     keeps RandomGraph out of the eager livelock that would otherwise
-    drown the versioning signal this study isolates.
+    drown the versioning signal this study isolates.  ``jobs > 1`` fans
+    the (workload, seed, OT/ideal) points out across processes.
     """
-    results: Dict[str, OverflowPoint] = {}
     params = overflow_params()
+    specs: List[PointSpec] = []
+    for workload in workloads:
+        for seed in seeds:
+            base = ExperimentConfig(
+                workload=workload,
+                system="FlexTM",
+                threads=threads,
+                mode=ConflictMode.LAZY,
+                cycle_limit=cycle_limit,
+                seed=seed,
+                params=params,
+            )
+            specs.append(
+                PointSpec(
+                    config=base,
+                    label=f"overflow:{workload}:s{seed}:ot",
+                    trace_dir=trace_out,
+                    trace_name=f"overflow_{workload}_seed{seed}",
+                )
+            )
+            specs.append(
+                PointSpec(
+                    config=dataclasses.replace(base, tmi_to_victim=True),
+                    label=f"overflow:{workload}:s{seed}:ideal",
+                )
+            )
+    outcomes = iter(run_points(specs, jobs=jobs))
+    results: Dict[str, OverflowPoint] = {}
     for workload in workloads:
         ot_total, ideal_total, spills = 0.0, 0.0, 0
         for seed in seeds:
-            tracer = None
-            if trace_out:
-                from repro.harness.trace import sweep_tracer
-
-                tracer = sweep_tracer()
-            with_ot = run_experiment(
-                ExperimentConfig(
-                    workload=workload,
-                    system="FlexTM",
-                    threads=threads,
-                    mode=ConflictMode.LAZY,
-                    cycle_limit=cycle_limit,
-                    seed=seed,
-                    params=params,
-                    tracer=tracer,
-                )
-            )
-            if tracer is not None:
-                from repro.harness.trace import write_point_trace
-
-                write_point_trace(
-                    tracer, trace_out, f"overflow_{workload}_seed{seed}"
-                )
-            ideal = run_experiment(
-                ExperimentConfig(
-                    workload=workload,
-                    system="FlexTM",
-                    threads=threads,
-                    mode=ConflictMode.LAZY,
-                    cycle_limit=cycle_limit,
-                    seed=seed,
-                    params=params,
-                    tmi_to_victim=True,
-                )
-            )
+            with_ot = unwrap(next(outcomes))
+            ideal = unwrap(next(outcomes))
             ot_total += with_ot.throughput
             ideal_total += ideal.throughput
             spills += with_ot.stats.get("ot.spills", 0)

@@ -32,3 +32,45 @@ def test_thread_list_parsing():
     from repro.harness.__main__ import _thread_list
 
     assert _thread_list("1,4,16") == (1, 4, 16)
+
+
+def test_sweep_cli_parallel_csv_and_bench(tmp_path, capsys):
+    import json
+
+    from repro.harness.sweep import ROW_FIELDS
+    from repro.harness.parallel import validate_bench_payload
+
+    csv_path = tmp_path / "sweep.csv"
+    bench_path = tmp_path / "BENCH_sweep.json"
+    code = main(
+        [
+            "sweep",
+            "--workloads", "hashtable",
+            "--systems", "flextm,cgl",
+            "--threads", "1,2",
+            "--cycles", "10000",
+            "--jobs", "2",
+            "--quiet",
+            "--csv-out", str(csv_path),
+            "--bench-out", str(bench_path),
+        ]
+    )
+    assert code == 0
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == ",".join(ROW_FIELDS)
+    assert len(lines) == 5  # header + 4 points
+    assert all(",ok," in line for line in lines[1:])
+    document = json.loads(bench_path.read_text())
+    assert validate_bench_payload(document) is None
+    assert document["num_points"] == 4
+
+
+def test_sweep_cli_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--workloads", "nope"])
+
+
+def test_artifact_jobs_flag(capsys):
+    assert main(["conflicts", "--cycles", "10000", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Conflicting transactions" in out

@@ -1,0 +1,77 @@
+"""Regression locks for the sweep schema and fan-out ordering.
+
+Parallel execution reorders *completion*; these tests pin everything
+that must never reorder with it: the exact CSV column list, the header
+line, and the cartesian order :meth:`SweepSpec.configs` yields points
+in (which is also the row order every sweep — serial or parallel —
+reports).  A change here is an intentional, reviewed schema break.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.descriptor import ConflictMode
+from repro.harness.sweep import ROW_FIELDS, SweepSpec, to_csv
+
+#: The locked column contract.  Order matters: downstream spreadsheets
+#: and the CI bench gate parse by position as well as by name.
+EXPECTED_ROW_FIELDS = [
+    "workload",
+    "system",
+    "threads",
+    "mode",
+    "seed",
+    "cycles",
+    "commits",
+    "aborts",
+    "throughput",
+    "abort_ratio",
+    "status",
+    "error",
+]
+
+
+def test_row_fields_locked():
+    assert ROW_FIELDS == EXPECTED_ROW_FIELDS
+
+
+def test_csv_header_matches_row_fields():
+    header = to_csv([]).splitlines()[0]
+    assert header == ",".join(EXPECTED_ROW_FIELDS)
+
+
+def test_configs_cartesian_order_locked():
+    spec = SweepSpec(
+        workloads=["HashTable", "RBTree"],
+        systems=["FlexTM", "CGL"],
+        thread_counts=(1, 2),
+        modes=(ConflictMode.EAGER, ConflictMode.LAZY),
+        seeds=(1, 2),
+        cycle_limit=5_000,
+    )
+    observed = [
+        (c.workload, c.system, c.threads, c.mode, c.seed) for c in spec.configs()
+    ]
+    expected = list(
+        itertools.product(
+            ["HashTable", "RBTree"],
+            ["FlexTM", "CGL"],
+            (1, 2),
+            (ConflictMode.EAGER, ConflictMode.LAZY),
+            (1, 2),
+        )
+    )
+    assert observed == expected
+    assert len(observed) == spec.size() == 32
+    # Workload is the slowest-varying axis, seed the fastest.
+    assert observed[0][0] == observed[15][0] == "HashTable"
+    assert observed[16][0] == "RBTree"
+    assert [entry[4] for entry in observed[:4]] == [1, 2, 1, 2]
+
+
+def test_every_config_carries_spec_invariants():
+    spec = SweepSpec(workloads=["HashTable"], cycle_limit=5_000)
+    for config in spec.configs():
+        assert config.cycle_limit == 5_000
+        assert config.params is spec.params

@@ -1,0 +1,23 @@
+"""Deterministic fault injection, invariant checking, and liveness.
+
+Public surface of the robustness layer::
+
+    from repro.chaos import ChaosSpec, ChaosEngine, InvariantChecker
+    from repro.chaos import LivelockWatchdog, WatchdogSpec
+
+See docs/ROBUSTNESS.md for the fault taxonomy, the invariant list, the
+watchdog escalation ladder, and how to replay a failure from a seed.
+"""
+
+from repro.chaos.engine import CHAOS_RETRY_CYCLES, ChaosEngine, ChaosSpec
+from repro.chaos.invariants import InvariantChecker
+from repro.chaos.watchdog import LivelockWatchdog, WatchdogSpec
+
+__all__ = [
+    "CHAOS_RETRY_CYCLES",
+    "ChaosEngine",
+    "ChaosSpec",
+    "InvariantChecker",
+    "LivelockWatchdog",
+    "WatchdogSpec",
+]

@@ -115,6 +115,8 @@ class Directory:
         # the tracer itself and a processor-clock accessor for stamps.
         self.tracer = NULL_TRACER
         self.clock_of: Optional[Callable] = None
+        # Fault injection (installed by FlexTMMachine.set_chaos).
+        self.chaos = None
 
     def entry(self, line_address: int) -> DirectoryEntry:
         if line_address not in self._entries:
@@ -157,6 +159,12 @@ class Directory:
             raise ProtocolError("directory has no forward hook installed")
         self.stats.counter(f"dir.requests.{req_type.value}").increment()
         cycles = self._l2_latency(line_address)
+        if self.chaos is not None and self.chaos.enabled:
+            # Dropped/delayed request messages: the requestor retries
+            # after a timeout, so faults surface as extra latency here
+            # (never as a spurious NACK — plain loads/stores don't
+            # inspect ``nacked``).
+            cycles += self.chaos.coherence_extra_cycles(line_address)
 
         if self.nack_check is not None and self.nack_check(line_address, requestor):
             self.stats.counter("dir.nacks").increment()
@@ -191,6 +199,21 @@ class Directory:
                     # M/E owner flushed and dropped to S; TMI owners
                     # (threatened) keep ownership.
                     entry.demote_owner_to_sharer(responder)
+
+        if (
+            targets
+            and self.chaos is not None
+            and self.chaos.enabled
+            and self.chaos.duplicate_response(line_address)
+        ):
+            # Duplicated forwarded message: the first listed responder
+            # snoops the same request twice.  The protocol must treat
+            # repeated forwards idempotently; the duplicate response is
+            # appended so CST updates see it again too.
+            responder = targets[0]
+            kind, _ = self.forward(responder, requestor, req_type, line_address)
+            if kind is not None:
+                responses.append((responder, kind))
 
         grant = self._grant_and_record(requestor, req_type, line_address, entry, responses)
         if self.tracer.enabled:

@@ -74,6 +74,8 @@ class L1Controller:
         self.stats = stats or StatsRegistry()
         #: Observability hook (replaced by FlexTMMachine.set_tracer).
         self.tracer = NULL_TRACER
+        #: Fault injection (installed by FlexTMMachine.set_chaos).
+        self.chaos = None
         self.array = CacheArray(params.l1.num_sets, params.l1.associativity)
         self.victims = VictimBuffer(params.victim_buffer_entries)
         #: E7 knob — route TMI evictions into an unbounded side buffer
@@ -93,6 +95,8 @@ class L1Controller:
         """Perform one processor memory operation; returns the outcome."""
         self.stats.counter(f"l1.access.{kind.value}").increment()
         self._eviction_cycles = 0
+        if self.chaos is not None and self.chaos.enabled and self.chaos.l1_pressure():
+            self._chaos_evict(line_address)
         line = self.array.lookup(line_address)
         if line is not None:
             hit = self._try_hit(kind, line)
@@ -240,6 +244,25 @@ class L1Controller:
             self.victims.insert(line.line_address, state)
             self.stats.counter("l1.silent_evictions").increment()
         self.array.remove(line.line_address)
+
+    def _chaos_evict(self, line_address: int) -> None:
+        """Cache-pressure fault: evict one unpinned line, policy intact.
+
+        Exercises the TMI-spill and silent-eviction paths under
+        adversarial pressure; the victim goes through :meth:`evict`, so
+        every state keeps its architected eviction behaviour.
+        """
+        candidates = [
+            line
+            for line in self.array.valid_lines()
+            if line.line_address != line_address
+            and line.line_address not in self._pinned
+        ]
+        if not candidates:
+            return
+        victim = candidates[self.chaos.pick(len(candidates))]
+        self.stats.counter("l1.chaos_evictions").increment()
+        self.evict(victim)
 
     def pin(self, line_address: int) -> None:
         """Protect a line from eviction (OT remap service routine)."""

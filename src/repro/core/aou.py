@@ -36,6 +36,9 @@ class AlertUnit:
         self._marked: Dict[int, bool] = {}
         self.alerts_raised = 0
         self.alerts_delivered = 0
+        self.alerts_lost = 0
+        #: Fault injection (installed by FlexTMMachine.set_chaos).
+        self.chaos = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -62,7 +65,18 @@ class AlertUnit:
 
     def raise_alert(self, line_address: int, reason: str) -> None:
         """Called by the L1 controller when a marked line fires."""
-        if line_address not in self._marked and reason != "signature":
+        if line_address not in self._marked and reason not in ("signature", "spurious"):
+            return
+        if (
+            self.chaos is not None
+            and self.chaos.enabled
+            and reason != "spurious"
+            and self.chaos.alert_lost(line_address)
+        ):
+            # Lost delivery: the trap never reaches the pending queue.
+            # The runtime's TSW status poll still notices the abort, so
+            # the fault degrades into detection latency.
+            self.alerts_lost += 1
             return
         self.alerts_raised += 1
         self._pending.append(PendingAlert(line_address, reason))

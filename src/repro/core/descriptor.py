@@ -73,6 +73,13 @@ class TransactionDescriptor:
     #: Statistics for the harnesses.
     commits: int = 0
     aborts: int = 0
+    #: Abort attribution: who wounded this attempt and why.  Set by the
+    #: machine at TSW-write time, consumed (and reset) by the runtime
+    #: when it raises/handles TransactionAborted.
+    wounded_by: int = -1
+    wound_kind: str = ""
+    #: Wounds this transaction has inflicted on others (watchdog input).
+    wounds_inflicted: int = 0
 
     def conflicts_with(self, line_address: int, is_write: bool) -> bool:
         """Software signature test against *saved* state (suspended txns)."""

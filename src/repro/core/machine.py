@@ -78,6 +78,13 @@ class FlexTMMachine:
         #: thread id -> suspended descriptor (summary-handler registry).
         self._suspended: Dict[int, TransactionDescriptor] = {}
         self._pending_summary_conflicts: List[Tuple[int, ResponseKind]] = []
+        #: Fault injection / invariant checking (opt-in, tracer-style).
+        self.chaos = None
+        self.invariants = None
+        #: TSW address -> (wounder proc, conflict kind), staged by the
+        #: runtime just before an abort CAS so the hardware-level TSW
+        #: write can attribute the wound.
+        self._staged_wounds: Dict[int, Tuple[int, str]] = {}
         # Bump-pointer allocator over the simulated address space; start
         # past page zero so 0 can serve as a null pointer.
         self._brk = 1 << 16
@@ -101,6 +108,28 @@ class FlexTMMachine:
             proc.l1.tracer = tracer
         self.directory.tracer = tracer
         self.directory.clock_of = lambda p: self.processors[p].clock.now
+
+    def set_chaos(self, chaos) -> None:
+        """Install (or remove, with None) a fault-injection engine.
+
+        Fanned out exactly like the tracer: the directory, every
+        processor, its L1, alert unit, and overflow controller each hold
+        the same engine, so all fault sites draw from one set of seeded
+        streams.
+        """
+        self.chaos = chaos
+        if chaos is not None and getattr(chaos, "stats", None) is None:
+            chaos.stats = self.stats
+        for proc in self.processors:
+            proc.chaos = chaos
+            proc.l1.chaos = chaos
+            proc.alerts.chaos = chaos
+            proc.ot.chaos = chaos
+        self.directory.chaos = chaos
+
+    def set_invariants(self, checker) -> None:
+        """Install (or remove, with None) a runtime invariant checker."""
+        self.invariants = checker
 
     def _forward(
         self, responder: int, requestor: int, req_type: RequestType, line_address: int
@@ -220,6 +249,8 @@ class FlexTMMachine:
         if result.nacked:
             return MemoryOpResult(cycles=result.cycles, nacked=True)
         aborted = self._strong_isolation_aborts(proc_id, line, conflicts)
+        if self.invariants is not None and address in self._descriptors_by_tsw:
+            self.invariants.on_tsw_write(address, self.memory.read(address), value)
         self.memory.write(address, value)
         out = MemoryOpResult(cycles=result.cycles, conflicts=conflicts)
         out.value = value
@@ -244,6 +275,10 @@ class FlexTMMachine:
             return MemoryOpResult(cycles=result.cycles + refill_cycles, nacked=True)
         proc.rsig.insert(line)
         proc.note_request_conflicts(AccessKind.TLOAD, conflicts)
+        if self.invariants is not None:
+            self.invariants.on_access_conflicts(
+                self, proc_id, AccessKind.TLOAD, result.conflicts
+            )
         if proc.current is not None:
             proc.current.accesses += 1
         if self.tracer.enabled:
@@ -264,6 +299,10 @@ class FlexTMMachine:
             return MemoryOpResult(cycles=result.cycles + refill_cycles, nacked=True)
         proc.wsig.insert(line)
         proc.note_request_conflicts(AccessKind.TSTORE, conflicts)
+        if self.invariants is not None:
+            self.invariants.on_access_conflicts(
+                self, proc_id, AccessKind.TSTORE, result.conflicts
+            )
         proc.overlay[address] = value
         if proc.current is not None:
             proc.current.accesses += 1
@@ -283,9 +322,14 @@ class FlexTMMachine:
         old = self.memory.read(address)
         out = MemoryOpResult(value=old, cycles=result.cycles, conflicts=conflicts)
         if old == expected:
+            if self.invariants is not None and address in self._descriptors_by_tsw:
+                self.invariants.on_tsw_write(address, old, new)
             self.memory.write(address, new)
             out.success = True
-            self._on_tsw_write(address, new)
+            self._on_tsw_write(address, new, by=proc_id)
+        else:
+            # A wound staged for this CAS is stale once the CAS fails.
+            self._staged_wounds.pop(address, None)
         return out
 
     def cas_commit(self, proc_id: int) -> MemoryOpResult:
@@ -314,6 +358,8 @@ class FlexTMMachine:
         if proc.csts.must_abort_mask != 0:
             self.stats.counter("commit.cas_cst_fail").increment()
             return out
+        if self.invariants is not None:
+            self.invariants.on_tsw_write(descriptor.tsw_address, old, int(TxStatus.COMMITTED))
         self.memory.write(descriptor.tsw_address, TxStatus.COMMITTED)
         # Flash commit: speculative values become globally visible in
         # the same atomic step the TSW changes.
@@ -346,14 +392,51 @@ class FlexTMMachine:
     def unregister_suspended(self, thread_id: int) -> None:
         self._suspended.pop(thread_id, None)
 
-    def _on_tsw_write(self, address: int, new_value: int) -> None:
+    def stage_wound(self, tsw_address: int, by: int, kind: str) -> None:
+        """Pre-register who/why for an imminent abort CAS on a TSW.
+
+        The runtime knows the conflict kind; the hardware TSW write is
+        where the abort actually lands.  Staging bridges the two so
+        :class:`~repro.errors.TransactionAborted` can carry full cause
+        fidelity.  A stale stage (failed CAS) is discarded.
+        """
+        self._staged_wounds[tsw_address] = (by, kind)
+
+    def force_abort(self, descriptor: TransactionDescriptor, by: int = -1, kind: str = "") -> bool:
+        """OS-initiated abort (watchdog, migration): CAS ACTIVE->ABORTED.
+
+        Returns True when the abort landed; False when the transaction
+        already resolved (committed or aborted) first.
+        """
+        if self.memory.read(descriptor.tsw_address) != TxStatus.ACTIVE:
+            return False
+        if self.invariants is not None:
+            self.invariants.on_tsw_write(
+                descriptor.tsw_address, int(TxStatus.ACTIVE), int(TxStatus.ABORTED)
+            )
+        self.stage_wound(descriptor.tsw_address, by, kind)
+        self.memory.write(descriptor.tsw_address, TxStatus.ABORTED)
+        self._on_tsw_write(descriptor.tsw_address, TxStatus.ABORTED)
+        return True
+
+    def _on_tsw_write(self, address: int, new_value: int, by: int = -1) -> None:
         """Hardware side-effects of a successful write to some TSW."""
+        staged = self._staged_wounds.pop(address, None)
         if new_value != TxStatus.ABORTED:
             return
         descriptor = self._descriptors_by_tsw.get(address)
         if descriptor is None:
             return
+        kind = ""
+        if staged is not None:
+            by, kind = staged
         descriptor.aborts += 1
+        descriptor.wounded_by = by
+        descriptor.wound_kind = kind
+        if 0 <= by < len(self.processors):
+            wounder = self.processors[by].current
+            if wounder is not None and wounder is not descriptor:
+                wounder.wounds_inflicted += 1
         if descriptor.run_state is RunState.RUNNING and descriptor.last_processor >= 0:
             victim = self.processors[descriptor.last_processor]
             if victim.current is descriptor:
@@ -382,6 +465,11 @@ class FlexTMMachine:
                 if descriptor is None:
                     continue
             if self.memory.read(descriptor.tsw_address) == TxStatus.ACTIVE:
+                if self.invariants is not None:
+                    self.invariants.on_tsw_write(
+                        descriptor.tsw_address, int(TxStatus.ACTIVE), int(TxStatus.ABORTED)
+                    )
+                self.stage_wound(descriptor.tsw_address, requestor, "SI")
                 self.memory.write(descriptor.tsw_address, TxStatus.ABORTED)
                 self._on_tsw_write(descriptor.tsw_address, TxStatus.ABORTED)
                 aborted.append(responder)

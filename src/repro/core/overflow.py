@@ -128,10 +128,29 @@ class OverflowController:
         #: before this time.
         self.copyback_until = 0
         self.mapped = True  # False when the OS swapped the OT out
+        #: Fault injection (installed by FlexTMMachine.set_chaos).
+        self.chaos = None
+        self.failed_walks = 0
 
     @property
     def active(self) -> bool:
         return self.table is not None
+
+    def walk_penalty(self, physical_line: int, cycles_per_walk: int) -> int:
+        """Extra latency when chaos fails OT walk passes (FSM retries).
+
+        A failed walk is re-issued by the controller, so the fault is
+        pure latency — the entry is never lost.
+        """
+        if self.chaos is None or not self.chaos.enabled:
+            return 0
+        extra = 0
+        retries = 0
+        while retries < 3 and self.chaos.ot_walk_failed(physical_line):
+            retries += 1
+            self.failed_walks += 1
+            extra += cycles_per_walk
+        return extra
 
     def allocate(self, thread_id: int) -> None:
         """First-overflow trap: the OS allocates an OT and fills registers."""

@@ -56,6 +56,8 @@ class FlexTMProcessor:
         self.stats = stats or StatsRegistry()
         #: Observability hook (replaced by FlexTMMachine.set_tracer).
         self.tracer = NULL_TRACER
+        #: Fault injection (installed by FlexTMMachine.set_chaos).
+        self.chaos = None
         self.clock = CycleClock()
         self.rsig = Signature(params.signature_bits, params.signature_hashes)
         self.wsig = Signature(params.signature_bits, params.signature_hashes)
@@ -84,11 +86,25 @@ class FlexTMProcessor:
 
     # -- L1 hook interface -------------------------------------------------------
 
+    def _sig_member(self, which: str, line_address: int) -> bool:
+        """Signature membership test, optionally corrupted by chaos.
+
+        Corruption is gated on a running transaction: an idle core's
+        signatures are architecturally clean, so flipping them would
+        manufacture states the hardware cannot reach (and trip the
+        idle-hygiene invariant on a healthy protocol).
+        """
+        sig = self.wsig if which == "wsig" else self.rsig
+        actual = sig.member(line_address)
+        if self.chaos is not None and self.chaos.enabled and self.current is not None:
+            return self.chaos.sig_member(which, line_address, actual)
+        return actual
+
     def classify_remote(
         self, requestor: int, req_type: RequestType, line_address: int
     ) -> Optional[ResponseKind]:
         """Signature checks for a forwarded request; sets responder CSTs."""
-        if self.wsig.member(line_address):
+        if self._sig_member("wsig", line_address):
             if req_type is RequestType.GETS:
                 self.csts.w_r.set(requestor)
                 self.conflict_partners.add(requestor)
@@ -99,7 +115,7 @@ class FlexTMProcessor:
             # requestor aborts this transaction outright (Section 3.5).
             self.stats.counter("cst.threatened_responses").increment()
             return ResponseKind.THREATENED
-        if self.rsig.member(line_address):
+        if self._sig_member("rsig", line_address):
             if req_type is RequestType.TGETX:
                 self.csts.r_w.set(requestor)
                 self.stats.counter("cst.exposed_read_responses").increment()
@@ -141,6 +157,7 @@ class FlexTMProcessor:
         """
         if not self.ot.lookup(line_address):
             return 0
+        walk_cycles = OT_REFILL_CYCLES + self.ot.walk_penalty(line_address, OT_REFILL_CYCLES)
         self.ot.extract(line_address)
         # Reinstall as TMI; this may evict another line (possibly
         # spilling it right back — the pathological ping-pong a sane OT
@@ -155,9 +172,9 @@ class FlexTMProcessor:
         self.stats.counter("ot.refills").increment()
         if self.tracer.enabled:
             self.tracer.overflow(
-                self.proc_id, self.clock.now, "walk", line_address, dur=OT_REFILL_CYCLES
+                self.proc_id, self.clock.now, "walk", line_address, dur=walk_cycles
             )
-        return OT_REFILL_CYCLES
+        return walk_cycles
 
     def note_request_conflicts(
         self, kind: AccessKind, conflicts: List[Tuple[int, ResponseKind]]

@@ -24,6 +24,20 @@ class ProtocolError(ReproError):
     """
 
 
+class InvariantViolation(ProtocolError):
+    """Raised by the runtime invariant checker (repro.chaos.invariants).
+
+    Carries which invariant failed plus a human-readable account of the
+    offending machine state, so a chaos run that breaks the protocol
+    produces a structured diagnosis instead of silent corruption.
+    """
+
+    def __init__(self, invariant: str, detail: str):
+        super().__init__(f"[{invariant}] {detail}")
+        self.invariant = invariant
+        self.detail = detail
+
+
 class TransactionError(ReproError):
     """Base class for transaction-level failures."""
 
@@ -37,10 +51,19 @@ class TransactionAborted(TransactionError):
     it and restarts the transaction.
     """
 
-    def __init__(self, reason: str = "aborted", *, by: int | None = None):
+    def __init__(
+        self,
+        reason: str = "aborted",
+        *,
+        by: int | None = None,
+        conflict: str = "",
+    ):
         super().__init__(reason)
         self.reason = reason
         self.by = by
+        #: Conflict type that caused the wound ("R-W" / "W-R" / "W-W" /
+        #: "SI" / "migration" / "watchdog"), "" when unattributed.
+        self.conflict = conflict
 
 
 class IllegalOperation(TransactionError):

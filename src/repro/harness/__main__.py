@@ -29,6 +29,15 @@ A single run can be traced and inspected directly::
         --cycles 50000 --trace-out /tmp/trace.json
 
 See ``python -m repro.harness trace --help`` and docs/OBSERVABILITY.md.
+
+The robustness fault matrix runs through the ``chaos`` subcommand::
+
+    python -m repro.harness chaos --seed 1 --jobs 2 --report chaos.json
+
+Every backend runs under every seeded fault profile with invariants,
+the livelock watchdog, and the serializability oracle armed; the exit
+status is non-zero on any crash, wedge, or silent corruption.  See
+``python -m repro.harness chaos --help`` and docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -56,6 +65,10 @@ def main(argv=None) -> int:
         from repro.harness.sweep import run_sweep_command
 
         return run_sweep_command(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.harness.chaos import run_chaos_command
+
+        return run_chaos_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate FlexTM paper tables and figures.",

@@ -1,0 +1,474 @@
+"""Seeded fault-matrix harness: ``python -m repro.harness chaos``.
+
+Runs every TM backend under every fault profile with the chaos engine,
+the invariant checker, the livelock watchdog, and the serializability
+oracle all armed, then classifies each cell:
+
+``clean``
+    the profile's dice never fired (nothing injected).
+``masked``
+    faults were injected but the run is indistinguishable from the
+    fault-free baseline (same commits and aborts, serializable,
+    witness-replay-consistent final memory): pure latency.
+``degraded``
+    faults changed the numbers (extra aborts, watchdog escalations)
+    but the committed history is still serializable and the final
+    memory replays from the witness: graceful degradation.
+``diagnosed``
+    the run (or its oracle) raised a structured
+    :class:`~repro.errors.ReproError` — an invariant violation or a
+    :class:`~repro.verify.history.SerializabilityViolation` — naming
+    the damage: the robustness layer caught the fault.
+``wedged``
+    the run hit its cycle budget without committing every
+    transaction: a liveness failure.  **Test failure.**
+``silent-corruption``
+    the history passed the checker but the final memory does not
+    equal a serial replay of the witness, or some other undiagnosed
+    divergence: exactly the outcome this layer exists to prevent.
+    **Test failure.**
+``crash``
+    a non-``ReproError`` escaped — a bug, not a diagnosis.
+    **Test failure.**
+
+Every cell is deterministic from ``(seed, backend, profile)``: per-cell
+chaos seeds are mixed with :func:`zlib.crc32` (stable across processes,
+unlike salted string hashes), thread bodies draw from
+:class:`~repro.sim.rng.DeterministicRng`, and the scheduler is
+timing-driven.  Re-running a failing cell with the same flags replays
+it bit-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import itertools
+import json
+import sys
+import zlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.chaos import ChaosEngine, ChaosSpec, InvariantChecker, LivelockWatchdog, WatchdogSpec
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.errors import ReproError
+from repro.harness.parallel import effective_jobs
+from repro.params import small_test_params
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread, WorkItem
+from repro.sim.rng import DeterministicRng
+from repro.verify.history import (
+    RecordingBackend,
+    SerializabilityViolation,
+    check_serializable,
+)
+
+#: Classifications that fail the harness (exit status 1).
+FAILING = ("crash", "wedged", "silent-corruption")
+
+#: Fault profiles: one adversary per subsystem plus a combined storm.
+#: Probabilities are tuned so a profile reliably injects on the default
+#: workload size while the run still finishes well inside its budget.
+FAULT_PROFILES: Dict[str, Dict[str, float]] = {
+    "coherence": dict(coh_drop=0.05, coh_delay=0.05, coh_dup=0.03),
+    "aou": dict(alert_drop=0.25, alert_spurious=0.01),
+    "signature": dict(sig_false_positive=0.05, sig_false_negative=0.02),
+    "overflow": dict(ot_walk_fail=0.30, l1_evict=0.02),
+    "sched": dict(sched_preempt=0.005),
+    "storm": dict(
+        coh_drop=0.02, coh_delay=0.02, coh_dup=0.01,
+        alert_drop=0.10, alert_spurious=0.005,
+        sig_false_positive=0.02, sig_false_negative=0.01,
+        ot_walk_fail=0.10, l1_evict=0.01, sched_preempt=0.002,
+    ),
+}
+
+NUM_CELLS = 6
+DEFAULT_THREADS = 4
+DEFAULT_TXNS = 10
+DEFAULT_CYCLE_LIMIT = 100_000_000
+
+
+def profile_spec(profile: str, seed: int, backend: str) -> ChaosSpec:
+    """The replayable ChaosSpec for one (seed, backend, profile) cell."""
+    if profile not in FAULT_PROFILES:
+        raise KeyError(f"unknown fault profile {profile!r}; have {sorted(FAULT_PROFILES)}")
+    mixed = seed ^ zlib.crc32(f"{backend}:{profile}".encode())
+    return ChaosSpec(seed=mixed, **FAULT_PROFILES[profile])
+
+
+@dataclasses.dataclass
+class CellResult:
+    """One (backend, profile) cell of the fault matrix."""
+
+    backend: str
+    profile: str
+    classification: str
+    injected: Dict[str, int]
+    commits: int = 0
+    aborts: int = 0
+    cycles: int = 0
+    aborts_by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
+    watchdog: Dict[str, int] = dataclasses.field(default_factory=dict)
+    invariant_checks: int = 0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.classification not in FAILING
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+def _bodies(cells, rng, count, unique):
+    """Contended random read/write transactions with globally unique
+    write values, so the oracle's reads-from attribution is exact."""
+
+    def make(reads, writes):
+        def body(ctx):
+            for address in reads:
+                yield from ctx.read(address)
+            yield from ctx.work(10)
+            for address in writes:
+                yield from ctx.write(address, next(unique))
+
+        return body
+
+    for _ in range(count):
+        reads = rng.sample(cells, rng.randint(1, 3))
+        writes = rng.sample(cells, rng.randint(1, 2))
+        yield WorkItem(make(tuple(reads), tuple(writes)))
+
+
+def _run_cell(
+    backend_name: str,
+    seed: int,
+    spec: Optional[ChaosSpec],
+    threads: int,
+    txns: int,
+    cycle_limit: int,
+) -> Dict[str, object]:
+    """One instrumented run; returns raw observations (no classification).
+
+    Keys: ``commits``/``aborts``/``cycles``/``aborts_by_kind``,
+    ``injected`` (site.kind -> count), ``watchdog`` telemetry,
+    ``serializable``/``memory_ok`` oracle verdicts, and ``error`` /
+    ``error_kind`` when something was raised (``repro`` for structured
+    ReproErrors, ``crash`` for everything else).
+    """
+    from repro.harness.runner import SYSTEMS
+
+    machine = FlexTMMachine(small_test_params(threads))
+    engine = None
+    if spec is not None:
+        engine = ChaosEngine(spec, stats=machine.stats)
+        machine.set_chaos(engine)
+        machine.set_invariants(InvariantChecker())
+    backend = RecordingBackend(SYSTEMS[backend_name](machine, ConflictMode.EAGER))
+    line = machine.params.line_bytes
+    cells = [machine.allocate(line, line_aligned=True) for _ in range(NUM_CELLS)]
+    for index, cell in enumerate(cells):
+        machine.memory.write(cell, index)
+        backend.recorder.note_initial(cell, index)
+    unique = itertools.count(1000)
+    tx_threads = [
+        TxThread(i, backend, _bodies(cells, DeterministicRng(seed * 7919 + i), txns, unique))
+        for i in range(threads)
+    ]
+    watchdog = LivelockWatchdog(WatchdogSpec()) if spec is not None else None
+    out: Dict[str, object] = {
+        "commits": 0,
+        "aborts": 0,
+        "cycles": 0,
+        "aborts_by_kind": {},
+        "injected": {},
+        "watchdog": {},
+        "invariant_checks": 0,
+        "serializable": False,
+        "memory_ok": False,
+        "error": "",
+        "error_kind": "",
+    }
+    try:
+        result = Scheduler(machine, tx_threads, watchdog=watchdog).run(
+            cycle_limit=cycle_limit
+        )
+        out["commits"] = result.commits
+        out["aborts"] = result.aborts
+        out["cycles"] = result.cycles
+        out["aborts_by_kind"] = dict(result.aborts_by_kind)
+    except ReproError as error:
+        out["error"] = f"{type(error).__name__}: {error}"
+        out["error_kind"] = "repro"
+    except Exception as error:  # noqa: BLE001 — a crash IS the finding
+        out["error"] = f"{type(error).__name__}: {error}"
+        out["error_kind"] = "crash"
+    if engine is not None:
+        out["injected"] = dict(engine.injected)
+    if watchdog is not None:
+        out["watchdog"] = {
+            "escalations": watchdog.escalations,
+            "forced_aborts": watchdog.forced_aborts,
+            "recoveries": watchdog.recoveries,
+        }
+    if machine.invariants is not None:
+        out["invariant_checks"] = (
+            machine.invariants.inline_checks + machine.invariants.sweeps
+        )
+    if out["error_kind"]:
+        return out
+    # Oracle: the committed history must be conflict-serializable, and
+    # (when every transaction committed) the final memory must equal a
+    # serial replay of the witness order.
+    try:
+        witness = check_serializable(backend.recorder)
+        out["serializable"] = True
+    except SerializabilityViolation as error:
+        out["error"] = f"SerializabilityViolation: {error}"
+        out["error_kind"] = "repro"
+        return out
+    if out["commits"] == threads * txns:
+        replay = dict(backend.recorder.initial_values)
+        for txn in witness:
+            replay.update(txn.writes)
+        out["memory_ok"] = all(
+            machine.memory.read(cell) == replay[cell] for cell in cells
+        )
+    return out
+
+
+def _classify(run: Dict[str, object], baseline: Dict[str, object],
+              expected_commits: int) -> CellResult:
+    """Apply the classification ladder to one faulted run."""
+    injected = dict(run["injected"])
+    total = sum(injected.values())
+    classification = "degraded"
+    detail = ""
+    if run["error_kind"] == "crash":
+        classification, detail = "crash", str(run["error"])
+    elif run["error_kind"] == "repro":
+        classification, detail = "diagnosed", str(run["error"])
+    elif run["commits"] < expected_commits:
+        classification = "wedged"
+        detail = f"{run['commits']}/{expected_commits} commits at cycle budget"
+    elif not run["memory_ok"]:
+        classification = "silent-corruption"
+        detail = "final memory diverges from serial witness replay"
+    elif total == 0:
+        classification = "clean"
+    elif (run["commits"], run["aborts"]) == (baseline["commits"], baseline["aborts"]):
+        classification = "masked"
+    return CellResult(
+        backend="", profile="",
+        classification=classification,
+        injected=injected,
+        commits=int(run["commits"]),
+        aborts=int(run["aborts"]),
+        cycles=int(run["cycles"]),
+        aborts_by_kind=dict(run["aborts_by_kind"]),
+        watchdog=dict(run["watchdog"]),
+        invariant_checks=int(run["invariant_checks"]),
+        detail=detail,
+    )
+
+
+def run_backend_matrix(
+    backend_name: str,
+    profiles: Sequence[str],
+    seed: int,
+    threads: int = DEFAULT_THREADS,
+    txns: int = DEFAULT_TXNS,
+    cycle_limit: int = DEFAULT_CYCLE_LIMIT,
+) -> List[CellResult]:
+    """Baseline one backend, then run and classify every fault profile."""
+    expected = threads * txns
+    baseline = _run_cell(backend_name, seed, None, threads, txns, cycle_limit)
+    rows: List[CellResult] = []
+    if baseline["error_kind"] or baseline["commits"] < expected or not baseline["memory_ok"]:
+        detail = str(baseline["error"]) or (
+            f"{baseline['commits']}/{expected} commits"
+            if baseline["commits"] < expected
+            else "final memory diverges from serial witness replay"
+        )
+        rows.append(
+            CellResult(
+                backend=backend_name, profile="baseline",
+                classification="crash" if baseline["error_kind"] == "crash" else "silent-corruption",
+                injected={}, commits=int(baseline["commits"]),
+                aborts=int(baseline["aborts"]), cycles=int(baseline["cycles"]),
+                detail=f"fault-free baseline failed: {detail}",
+            )
+        )
+        return rows
+    for profile in profiles:
+        spec = profile_spec(profile, seed, backend_name)
+        run = _run_cell(backend_name, seed, spec, threads, txns, cycle_limit)
+        cell = _classify(run, baseline, expected)
+        cell.backend = backend_name
+        cell.profile = profile
+        rows.append(cell)
+    return rows
+
+
+def _worker(payload) -> List[CellResult]:
+    backend_name, profiles, seed, threads, txns, cycle_limit = payload
+    return run_backend_matrix(backend_name, profiles, seed, threads, txns, cycle_limit)
+
+
+def run_chaos_matrix(
+    backends: Sequence[str],
+    profiles: Sequence[str],
+    seed: int,
+    jobs: int = 1,
+    threads: int = DEFAULT_THREADS,
+    txns: int = DEFAULT_TXNS,
+    cycle_limit: int = DEFAULT_CYCLE_LIMIT,
+    progress=None,
+) -> List[CellResult]:
+    """The full matrix; one worker unit per backend, rows in input order."""
+    payloads = [
+        (name, tuple(profiles), seed, threads, txns, cycle_limit)
+        for name in backends
+    ]
+    jobs = min(max(1, jobs), len(payloads))
+    if jobs == 1:
+        groups = []
+        for payload in payloads:
+            groups.append(_worker(payload))
+            if progress is not None:
+                progress(len(groups), len(payloads))
+    else:
+        import concurrent.futures
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context
+        ) as pool:
+            groups = []
+            for group in pool.map(_worker, payloads):
+                groups.append(group)
+                if progress is not None:
+                    progress(len(groups), len(payloads))
+    return [cell for group in groups for cell in group]
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _comma_list(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def render_matrix(rows: List[CellResult]) -> str:
+    """Human-readable report table."""
+    lines = []
+    header = f"{'backend':<10} {'profile':<10} {'class':<17} {'inj':>5} {'commits':>7} {'aborts':>7}  detail"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cell in rows:
+        marker = "" if cell.ok else "  <-- FAIL"
+        lines.append(
+            f"{cell.backend:<10} {cell.profile:<10} {cell.classification:<17} "
+            f"{sum(cell.injected.values()):>5} {cell.commits:>7} {cell.aborts:>7}  "
+            f"{cell.detail}{marker}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def run_chaos_command(argv=None) -> int:
+    """``python -m repro.harness chaos`` — run the seeded fault matrix."""
+    from repro.harness.runner import SYSTEMS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness chaos",
+        description="Run every TM backend under seeded fault injection "
+        "with invariants, watchdog, and serializability oracle armed; "
+        "fail on any crash, wedge, or silent corruption.",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="master seed for the fault matrix (default 1)")
+    parser.add_argument("--backends", default=",".join(SYSTEMS),
+                        help="comma-separated backend names (default: all)")
+    parser.add_argument("--profiles", default=",".join(FAULT_PROFILES),
+                        help="comma-separated fault profiles (default: all)")
+    parser.add_argument("--threads", type=int, default=DEFAULT_THREADS,
+                        help="transactional threads per run")
+    parser.add_argument("--txns", type=int, default=DEFAULT_TXNS,
+                        help="transactions per thread per run")
+    parser.add_argument("--cycles", type=int, default=DEFAULT_CYCLE_LIMIT,
+                        help="cycle budget per run (wedge detector)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = one per CPU; 1 = serial)")
+    parser.add_argument("--report", metavar="FILE",
+                        help="write the JSON fault-matrix report here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress on stderr")
+    args = parser.parse_args(argv)
+
+    lowered = {key.lower(): key for key in SYSTEMS}
+    backends = []
+    for name in _comma_list(args.backends):
+        key = lowered.get(name.lower())
+        if key is None:
+            raise SystemExit(
+                f"unknown backend {name!r}; choose from {', '.join(sorted(SYSTEMS))}"
+            )
+        backends.append(key)
+    profiles = []
+    for name in _comma_list(args.profiles):
+        if name not in FAULT_PROFILES:
+            raise SystemExit(
+                f"unknown profile {name!r}; choose from {', '.join(FAULT_PROFILES)}"
+            )
+        profiles.append(name)
+
+    jobs = min(effective_jobs(args.jobs), len(backends))
+    if not args.quiet:
+        sys.stderr.write(
+            f"chaos: seed {args.seed}, {len(backends)} backend(s) x "
+            f"{len(profiles)} profile(s), {jobs} worker(s)\n"
+        )
+    progress = None
+    if not args.quiet:
+        def progress(done, total):
+            sys.stderr.write(f"chaos: {done}/{total} backends done\n")
+
+    rows = run_chaos_matrix(
+        backends, profiles, args.seed, jobs=jobs, threads=args.threads,
+        txns=args.txns, cycle_limit=args.cycles, progress=progress,
+    )
+    sys.stdout.write(render_matrix(rows))
+    counts: Dict[str, int] = {}
+    for cell in rows:
+        counts[cell.classification] = counts.get(cell.classification, 0) + 1
+    failures = [cell for cell in rows if not cell.ok]
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    sys.stdout.write(f"\nchaos: {len(rows)} cells: {summary}\n")
+    if args.report:
+        document = {
+            "seed": args.seed,
+            "backends": backends,
+            "profiles": profiles,
+            "threads": args.threads,
+            "txns": args.txns,
+            "cycle_limit": args.cycles,
+            "counts": counts,
+            "ok": not failures,
+            "cells": [cell.to_json() for cell in rows],
+        }
+        with open(args.report, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if failures:
+        sys.stdout.write(
+            "chaos: FAIL — "
+            + "; ".join(f"{c.backend}/{c.profile}: {c.classification}" for c in failures)
+            + "\n"
+        )
+        return 1
+    sys.stdout.write("chaos: every injected fault was masked, degraded "
+                     "gracefully, or diagnosed\n")
+    return 0

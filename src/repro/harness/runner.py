@@ -12,6 +12,7 @@ import dataclasses
 import os
 from typing import Callable, Dict, List, Optional
 
+from repro.chaos import ChaosEngine, ChaosSpec, InvariantChecker, LivelockWatchdog, WatchdogSpec
 from repro.core.descriptor import ConflictMode
 from repro.core.machine import FlexTMMachine
 from repro.obs.tracer import Tracer
@@ -85,6 +86,12 @@ class ExperimentConfig:
     #: Observability: attach an EventTracer to record this run.  The
     #: default (None) installs the zero-overhead NullTracer.
     tracer: Optional[Tracer] = None
+    #: Robustness: seeded fault-injection schedule (None = no faults).
+    chaos: Optional["ChaosSpec"] = None
+    #: Robustness: assert protocol invariants during the run.
+    invariants: bool = False
+    #: Robustness: liveness watchdog parameters (None = no watchdog).
+    watchdog: Optional["WatchdogSpec"] = None
 
     def resolved_cycle_limit(self) -> int:
         return self.cycle_limit or default_cycle_limit()
@@ -100,6 +107,10 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     machine = FlexTMMachine(params, tmi_to_victim=config.tmi_to_victim)
     if config.tracer is not None:
         machine.set_tracer(config.tracer)
+    if config.chaos is not None:
+        machine.set_chaos(ChaosEngine(config.chaos, stats=machine.stats))
+    if config.invariants:
+        machine.set_invariants(InvariantChecker())
     backend = SYSTEMS[config.system](machine, config.mode)
     workload = WORKLOADS[config.workload](machine, seed=config.seed)
     abort_prime = None
@@ -124,8 +135,10 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     processor_list = (
         list(range(config.processors)) if config.processors is not None else None
     )
+    watchdog = LivelockWatchdog(config.watchdog) if config.watchdog is not None else None
     scheduler = Scheduler(
-        machine, threads, quantum=config.quantum, processors=processor_list
+        machine, threads, quantum=config.quantum, processors=processor_list,
+        watchdog=watchdog,
     )
     return scheduler.run(cycle_limit=config.resolved_cycle_limit())
 

@@ -63,6 +63,18 @@ ROW_FIELDS = [
     "error",
 ]
 
+#: Opt-in pathology-indicator columns (``--pathology``), appended after
+#: :data:`ROW_FIELDS` so the default schema stays locked.
+PATHOLOGY_FIELDS = [
+    "aborts_per_commit",
+    "friendly_fire",
+    "exposed_read_fraction",
+    "duelling_upgrade",
+    "summary_traps_per_commit",
+    "convoying",
+    "worst_pathology",
+]
+
 
 @dataclasses.dataclass
 class SweepSpec:
@@ -100,7 +112,9 @@ class SweepSpec:
         )
 
 
-def _row(config: ExperimentConfig, outcome: PointOutcome) -> Dict[str, object]:
+def _row(
+    config: ExperimentConfig, outcome: PointOutcome, pathology: bool = False
+) -> Dict[str, object]:
     row: Dict[str, object] = {
         "workload": config.workload,
         "system": config.system,
@@ -115,6 +129,16 @@ def _row(config: ExperimentConfig, outcome: PointOutcome) -> Dict[str, object]:
         "status": outcome.status,
         "error": outcome.error,
     }
+    if pathology:
+        row.update(
+            aborts_per_commit=0.0,
+            friendly_fire="",
+            exposed_read_fraction=0.0,
+            duelling_upgrade="",
+            summary_traps_per_commit=0.0,
+            convoying="",
+            worst_pathology="",
+        )
     if outcome.ok:
         result = outcome.result
         row.update(
@@ -124,6 +148,19 @@ def _row(config: ExperimentConfig, outcome: PointOutcome) -> Dict[str, object]:
             throughput=round(result.throughput, 2),
             abort_ratio=round(result.abort_ratio, 4),
         )
+        if pathology:
+            from repro.harness.pathology import analyze
+
+            report = analyze(result)
+            row.update(
+                aborts_per_commit=round(report.aborts_per_commit, 3),
+                friendly_fire=report.friendly_fire_risk,
+                exposed_read_fraction=round(report.exposed_read_fraction, 3),
+                duelling_upgrade=report.duelling_upgrade_risk,
+                summary_traps_per_commit=round(report.summary_traps_per_commit, 3),
+                convoying=report.convoying_risk,
+                worst_pathology=report.worst(),
+            )
     return row
 
 
@@ -134,6 +171,7 @@ def run_sweep(
     timeout: Optional[float] = None,
     retries: int = 1,
     bench_out: Optional[str] = None,
+    pathology: bool = False,
 ) -> List[Dict[str, object]]:
     """Execute the sweep; returns one dict per configuration.
 
@@ -174,22 +212,29 @@ def run_sweep(
                 "cycle_limit": spec.cycle_limit,
             },
         )
-    return [_row(config, outcome) for config, outcome in zip(configs, outcomes)]
+    return [
+        _row(config, outcome, pathology=pathology)
+        for config, outcome in zip(configs, outcomes)
+    ]
 
 
-def to_csv(rows: List[Dict[str, object]]) -> str:
-    """Render sweep rows as CSV text."""
+def to_csv(rows: List[Dict[str, object]], fields: Optional[List[str]] = None) -> str:
+    """Render sweep rows as CSV text (``fields`` defaults to ROW_FIELDS)."""
     buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=ROW_FIELDS, lineterminator="\n")
+    writer = csv.DictWriter(
+        buffer, fieldnames=fields or ROW_FIELDS, lineterminator="\n"
+    )
     writer.writeheader()
     for row in rows:
         writer.writerow(row)
     return buffer.getvalue()
 
 
-def write_csv(rows: List[Dict[str, object]], path: str) -> None:
+def write_csv(
+    rows: List[Dict[str, object]], path: str, fields: Optional[List[str]] = None
+) -> None:
     with open(path, "w", newline="") as handle:
-        handle.write(to_csv(rows))
+        handle.write(to_csv(rows, fields))
 
 
 # -- CLI ----------------------------------------------------------------------
@@ -249,6 +294,11 @@ def run_sweep_command(argv=None) -> int:
         "--retries", type=int, default=1,
         help="relaunch budget for crashed/timed-out points (default 1)",
     )
+    parser.add_argument(
+        "--pathology", action="store_true",
+        help="append pathology-indicator columns (FriendlyFire, "
+        "DuellingUpgrade, Convoying) to every row",
+    )
     parser.add_argument("--csv-out", metavar="FILE",
                         help="write rows here instead of stdout")
     parser.add_argument("--bench-out", metavar="FILE",
@@ -290,9 +340,13 @@ def run_sweep_command(argv=None) -> int:
         progress=None if args.quiet else render_progress,
     )
     elapsed = time.perf_counter() - started
-    rows = [_row(config, outcome) for config, outcome in zip(configs, outcomes)]
+    rows = [
+        _row(config, outcome, pathology=args.pathology)
+        for config, outcome in zip(configs, outcomes)
+    ]
 
-    text = to_csv(rows)
+    fields = ROW_FIELDS + PATHOLOGY_FIELDS if args.pathology else ROW_FIELDS
+    text = to_csv(rows, fields)
     if args.csv_out:
         with open(args.csv_out, "w", newline="") as handle:
             handle.write(text)

@@ -33,6 +33,8 @@ Event taxonomy (the ``kind`` field of :class:`TraceEvent`):
 ``coh_request``           directory request (type, line, grant, nack)
 ``coh_response``          signature-qualified forwarded response
 ``coh_evict``             L1 eviction (victimized line + state)
+``watchdog_*``            liveness-watchdog ladder (escalate / backoff_boost /
+                          forced_abort / recover)
 ========================  =====================================================
 """
 
@@ -98,7 +100,7 @@ class Tracer:
         pass
 
     def tx_abort(self, proc: int, thread: int, cycle: int, cause: str,
-                 by: int = -1) -> None:
+                 by: int = -1, conflict: str = "") -> None:
         pass
 
     def tx_access(self, proc: int, thread: int, cycle: int, rw: str,
@@ -134,6 +136,12 @@ class Tracer:
 
     def coherence(self, proc: int, cycle: int, msg: str, line: int,
                   responder: int = -1, detail: str = "") -> None:
+        pass
+
+    # -- liveness watchdog -----------------------------------------------------
+
+    def watchdog(self, cycle: int, what: str, **data) -> None:
+        """Watchdog escalation ladder events (escalate/boost/abort/recover)."""
         pass
 
     # -- run boundary ----------------------------------------------------------
@@ -202,9 +210,12 @@ class EventTracer(Tracer):
     def tx_commit(self, proc, thread, cycle):
         self._record(TraceEvent("tx_commit", cycle, proc, thread))
 
-    def tx_abort(self, proc, thread, cycle, cause, by=-1):
+    def tx_abort(self, proc, thread, cycle, cause, by=-1, conflict=""):
+        data = {"by": by}
+        if conflict:
+            data["conflict"] = conflict
         self._record(TraceEvent("tx_abort", cycle, proc, thread, cause=cause,
-                                data={"by": by}))
+                                data=data))
 
     def tx_access(self, proc, thread, cycle, rw, address):
         self._access_tick += 1
@@ -243,6 +254,12 @@ class EventTracer(Tracer):
         data = {"responder": responder} if responder >= 0 else None
         self._record(TraceEvent(msg, cycle, proc, line=line, cause=detail,
                                 data=data))
+
+    # -- liveness watchdog -----------------------------------------------------
+
+    def watchdog(self, cycle, what, **data):
+        self._record(TraceEvent(f"watchdog_{what}", cycle, proc=-1,
+                                data=dict(data) if data else None))
 
     # -- run boundary ----------------------------------------------------------
 

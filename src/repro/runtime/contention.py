@@ -43,14 +43,26 @@ class ConflictManager:
 
     def __init__(self, rng: DeterministicRng = None):
         self.rng = rng or DeterministicRng(0xC0)
+        #: Watchdog escalation multiplier applied to back-off windows.
+        #: Stays 1 unless :meth:`escalate` is called, so the RNG stream
+        #: (and every decision) is bit-identical without a watchdog.
+        self.boost = 1
 
     def decide(self, attempt: int, my_karma: int, enemy_karma: int) -> Ruling:
         raise NotImplementedError
 
+    def escalate(self, growth: int = 2, max_boost: int = 8) -> int:
+        """Livelock-watchdog hook: bounded multiplicative back-off growth."""
+        self.boost = min(self.boost * max(1, growth), max(1, max_boost))
+        return self.boost
+
+    def reset_escalation(self) -> None:
+        self.boost = 1
+
     def retry_backoff(self, aborts_in_a_row: int) -> int:
         """Back-off applied before restarting an aborted transaction."""
         window = min(aborts_in_a_row, 8)
-        return self.rng.randint(0, (1 << window) * 16)
+        return self.rng.randint(0, (1 << window) * 16 * self.boost)
 
 
 class PolkaManager(ConflictManager):

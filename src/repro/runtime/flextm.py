@@ -15,11 +15,13 @@ from __future__ import annotations
 
 from typing import Iterator, Optional, Tuple
 
+from repro.coherence.messages import AccessKind
 from repro.core.cmt import ConflictManagementTable
 from repro.core.descriptor import ConflictMode, RunState, TransactionDescriptor
 from repro.core.machine import FlexTMMachine
 from repro.core.tsw import TxStatus
 from repro.errors import TransactionAborted
+from repro.obs.tracer import classify_conflict
 from repro.runtime.api import TMBackend
 from repro.runtime.contention import ConflictManager, Decision, PolkaManager
 
@@ -98,13 +100,13 @@ class FlexTMRuntime(TMBackend):
     def read(self, thread, address: int) -> Iterator[Tuple]:
         result = yield from self._issue(thread, ("tload", address))
         if self.mode is ConflictMode.EAGER and result.conflicts:
-            yield from self._manage_conflicts(thread, result.conflicts)
+            yield from self._manage_conflicts(thread, result.conflicts, AccessKind.TLOAD)
         return result.value
 
     def write(self, thread, address: int, value: int) -> Iterator[Tuple]:
         result = yield from self._issue(thread, ("tstore", address, value))
         if self.mode is ConflictMode.EAGER and result.conflicts:
-            yield from self._manage_conflicts(thread, result.conflicts)
+            yield from self._manage_conflicts(thread, result.conflicts, AccessKind.TSTORE)
 
     def _issue(self, thread, op: Tuple) -> Iterator[Tuple]:
         """Issue an op, retrying while the directory NACKs it."""
@@ -116,7 +118,7 @@ class FlexTMRuntime(TMBackend):
 
     # ------------------------------------------------- eager conflict manager
 
-    def _manage_conflicts(self, thread, conflicts) -> Iterator[Tuple]:
+    def _manage_conflicts(self, thread, conflicts, access=AccessKind.TSTORE) -> Iterator[Tuple]:
         """CMPC dispatch: resolve each conflicting processor in turn.
 
         Resolution ends with the local CST bit for that processor
@@ -125,7 +127,8 @@ class FlexTMRuntime(TMBackend):
         """
         my_descriptor = thread.descriptor
         proc = self.machine.processors[thread.processor]
-        for enemy_proc, _kind in conflicts:
+        for enemy_proc, response in conflicts:
+            cst_kind = classify_conflict(access, response) or ""
             attempt = 0
             while True:
                 enemy = self._active_enemy(enemy_proc, my_descriptor)
@@ -148,11 +151,15 @@ class FlexTMRuntime(TMBackend):
                     # the scheduler's abort poll unwinds the generator.
                     continue
                 if ruling.decision is Decision.ABORT_ENEMY:
+                    self.machine.stage_wound(enemy.tsw_address, thread.processor, cst_kind)
                     yield ("cas", enemy.tsw_address, TxStatus.ACTIVE, TxStatus.ABORTED)
                     break
                 # ABORT_SELF
+                self.machine.stage_wound(my_descriptor.tsw_address, enemy_proc, cst_kind)
                 yield ("cas", my_descriptor.tsw_address, TxStatus.ACTIVE, TxStatus.ABORTED)
-                raise TransactionAborted("self-abort by conflict manager", by=enemy_proc)
+                raise TransactionAborted(
+                    "self-abort by conflict manager", by=enemy_proc, conflict=cst_kind
+                )
             proc.csts.r_w.clear_bit(enemy_proc)
             proc.csts.w_r.clear_bit(enemy_proc)
             proc.csts.w_w.clear_bit(enemy_proc)
@@ -192,17 +199,21 @@ class FlexTMRuntime(TMBackend):
         cleaning_targets = list(proc.csts.r_w.processors()) if self.clean_r_w else []
         while True:
             # Figure 3, line 1: copy-and-clear W-R and W-W.
-            mask = proc.csts.w_r.copy_and_clear() | proc.csts.w_w.copy_and_clear()
+            w_r_mask = proc.csts.w_r.copy_and_clear()
+            w_w_mask = proc.csts.w_w.copy_and_clear()
+            mask = w_r_mask | w_w_mask
             yield ("work", 2)
             # Lines 2-3: abort every conflicting transaction.  A CST bit
             # for our *own* processor is legitimate: it names a
             # suspended transaction whose CMT home is this core.
             for enemy_proc in _bits(mask):
+                cst_kind = "W-W" if (w_w_mask >> enemy_proc) & 1 else "W-R"
                 for enemy in self.cmt.active_on(enemy_proc):
                     if enemy is descriptor:
                         continue
                     if enemy.run_state is RunState.SUSPENDED and not self._overlaps(proc, enemy):
                         continue
+                    self.machine.stage_wound(enemy.tsw_address, proc_id, cst_kind)
                     yield ("cas", enemy.tsw_address, TxStatus.ACTIVE, TxStatus.ABORTED)
             # Line 4: CAS-Commit our own status word.
             result = yield ("cas_commit",)
@@ -218,7 +229,11 @@ class FlexTMRuntime(TMBackend):
                 self._finish(thread)
                 return
             if result.value != TxStatus.ACTIVE:
-                raise TransactionAborted("lost the commit race")
+                raise TransactionAborted(
+                    "lost the commit race",
+                    by=descriptor.wounded_by,
+                    conflict=descriptor.wound_kind,
+                )
             # Line 5: still active, new conflicts arrived — go again.
 
     def _overlaps(self, proc, suspended: TransactionDescriptor) -> bool:
@@ -300,8 +315,9 @@ class FlexTMRuntime(TMBackend):
             descriptor.saved = None
             return "aborted"
         if processor != saved.last_processor:
-            self.machine.memory.write(descriptor.tsw_address, TxStatus.ABORTED)
-            descriptor.aborts += 1
+            # Routed through the machine so the abort carries attribution
+            # and the TSW write stays invariant-checked.
+            self.machine.force_abort(descriptor, by=-1, kind="migration")
             descriptor.saved = None
             self.machine.stats.counter("ctxsw.migration_aborts").increment()
             return "aborted"

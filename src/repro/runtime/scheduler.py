@@ -25,6 +25,9 @@ from repro.runtime.txthread import TxThread
 #: OS cost to switch a thread out / in (trap + register state).
 SWITCH_OUT_CYCLES = 400
 SWITCH_IN_CYCLES = 400
+#: Handler cost of a spurious (chaos-injected) alert: trap in, re-read
+#: the TSW, see ACTIVE, return.
+SPURIOUS_ALERT_CYCLES = 15
 
 
 @dataclasses.dataclass
@@ -38,6 +41,9 @@ class RunResult:
     per_thread: List[Dict[str, int]]
     stats: Dict[str, int]
     conflict_degrees: List[int]
+    #: Abort counts keyed by conflict kind ("R-W", "W-R", "W-W", "SI",
+    #: "migration", "watchdog", "unattributed").
+    aborts_by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
     #: The run's EventTracer when one was attached (None otherwise).
     #: Excluded from comparison/repr: tracing never changes the numbers.
     trace: Optional[object] = dataclasses.field(default=None, compare=False, repr=False)
@@ -78,12 +84,16 @@ class Scheduler:
         threads: List[TxThread],
         quantum: Optional[int] = None,
         processors: Optional[List[int]] = None,
+        watchdog=None,
     ):
         if not threads:
             raise SchedulerError("no threads to run")
         self.machine = machine
         self.slots = [_Slot(thread) for thread in threads]
         self.quantum = quantum
+        self.watchdog = watchdog
+        if watchdog is not None:
+            watchdog.attach(machine, threads[0].backend)
         available = processors if processors is not None else list(range(machine.params.num_processors))
         if not available:
             raise SchedulerError("no processors available")
@@ -107,11 +117,20 @@ class Scheduler:
         """Simulate until every thread finishes or passes the limit."""
         if cycle_limit <= 0:
             raise SchedulerError("cycle_limit must be positive")
+        invariants = self.machine.invariants
+        steps = 0
         while True:
             proc = self._pick_processor(cycle_limit)
             if proc is None:
                 break
             self._step(proc, cycle_limit)
+            steps += 1
+            if self.watchdog is not None:
+                self.watchdog.observe(self)
+            if invariants is not None and steps % invariants.check_interval == 0:
+                invariants.check_machine(self.machine)
+        if invariants is not None:
+            invariants.check_machine(self.machine)
         return self._result(cycle_limit)
 
     def _pick_processor(self, cycle_limit: int) -> Optional[int]:
@@ -130,6 +149,15 @@ class Scheduler:
     def _step(self, proc: int, cycle_limit: int) -> None:
         slot = self._running[proc]
         clock = self.machine.processors[proc].clock
+        chaos = self.machine.chaos
+        if chaos is not None and chaos.enabled:
+            if chaos.spurious_alert():
+                self.machine.processors[proc].alerts.raise_alert(-1, "spurious")
+                clock.advance(SPURIOUS_ALERT_CYCLES)
+            if chaos.forced_preempt():
+                # Context-switch storm: preempt regardless of quantum.
+                self._preempt(proc, slot)
+                return
         if (
             self.quantum is not None
             and self._ready
@@ -143,7 +171,7 @@ class Scheduler:
             and thread.in_transaction
             and thread.backend.check_aborted(thread)
         ):
-            slot.pending_exc = TransactionAborted("status word changed", by=-1)
+            slot.pending_exc = self._abort_exception(thread, "status word changed")
         try:
             if slot.pending_exc is not None:
                 exc, slot.pending_exc = slot.pending_exc, None
@@ -154,6 +182,14 @@ class Scheduler:
             self._retire(proc, slot)
             return
         slot.pending_value = self._execute(proc, slot, op)
+
+    @staticmethod
+    def _abort_exception(thread, cause: str) -> TransactionAborted:
+        """Build a TransactionAborted carrying descriptor attribution."""
+        descriptor = thread.descriptor
+        by = getattr(descriptor, "wounded_by", -1) if descriptor is not None else -1
+        kind = getattr(descriptor, "wound_kind", "") if descriptor is not None else ""
+        return TransactionAborted(cause, by=by, conflict=kind)
 
     # -------------------------------------------------------------- op engine
 
@@ -236,7 +272,7 @@ class Scheduler:
         status = thread.backend.resume(thread, proc, thread.saved_ctx)
         thread.saved_ctx = None
         if status == "aborted":
-            slot.pending_exc = TransactionAborted("aborted while descheduled")
+            slot.pending_exc = self._abort_exception(thread, "aborted while descheduled")
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.sched(
@@ -265,6 +301,10 @@ class Scheduler:
         commits = sum(thread.commits for thread in threads)
         aborts = sum(thread.aborts for thread in threads)
         nontx = sum(thread.nontx_items for thread in threads)
+        aborts_by_kind: Dict[str, int] = {}
+        for thread in threads:
+            for kind, count in getattr(thread, "abort_kinds", {}).items():
+                aborts_by_kind[kind] = aborts_by_kind.get(kind, 0) + count
         elapsed = min(self.machine.max_cycle(), cycle_limit)
         degrees = self.machine.stats.histogram("cst.conflict_degree")
         tracer = self.machine.tracer
@@ -286,5 +326,6 @@ class Scheduler:
             ],
             stats=self.machine.stats.snapshot(),
             conflict_degrees=list(degrees._samples),
+            aborts_by_kind=dict(sorted(aborts_by_kind.items())),
             trace=tracer if tracer.enabled else None,
         )

@@ -66,6 +66,8 @@ class TxThread:
         self.commits = 0
         self.aborts = 0
         self.nontx_items = 0
+        #: Abort counts keyed by conflict kind (cause fidelity).
+        self.abort_kinds = {}
         #: Saved hardware context while descheduled mid-transaction.
         self.saved_ctx = None
 
@@ -86,6 +88,10 @@ class TxThread:
             try:
                 self.in_transaction = True
                 incarnation += 1
+                if self.descriptor is not None:
+                    # Fresh attempt: clear stale wound attribution.
+                    self.descriptor.wounded_by = -1
+                    self.descriptor.wound_kind = ""
                 tracer = self._tracer()
                 if tracer.enabled:
                     tracer.tx_begin(
@@ -104,13 +110,23 @@ class TxThread:
                 self.in_transaction = False
                 self.aborts += 1
                 aborts_in_a_row += 1
+                conflict = getattr(abort, "conflict", "")
+                by = getattr(abort, "by", -1)
+                if self.descriptor is not None:
+                    if not conflict:
+                        conflict = getattr(self.descriptor, "wound_kind", "")
+                    if by < 0:
+                        by = getattr(self.descriptor, "wounded_by", -1)
+                key = conflict or "unattributed"
+                self.abort_kinds[key] = self.abort_kinds.get(key, 0) + 1
                 yield from self.backend.on_abort(self)
                 tracer = self._tracer()
                 if tracer.enabled:
                     tracer.tx_abort(
                         self.processor, self.thread_id, self._now(),
                         cause=str(abort) or "aborted",
-                        by=getattr(abort, "by", -1),
+                        by=by,
+                        conflict=conflict,
                     )
                 if self.abort_work is not None:
                     yield from self.abort_work(ctx)

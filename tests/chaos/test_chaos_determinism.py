@@ -1,0 +1,84 @@
+"""Determinism guarantees of the chaos layer.
+
+Two properties are locked here:
+
+* same ``(seed, ChaosSpec)`` -> bit-identical runs (same commits,
+  aborts, cycles, per-thread numbers, stats — including the chaos
+  injection counters);
+* an all-zero spec (engine installed, nothing armed) is bit-identical
+  to running with no engine at all, for every TM backend: the hooks
+  are free when the dice are cold.
+"""
+
+import pytest
+
+from repro.chaos import ChaosSpec, WatchdogSpec
+from repro.harness.runner import SYSTEMS, ExperimentConfig, run_experiment
+from repro.params import small_test_params
+
+FAULTY = ChaosSpec(
+    seed=11,
+    coh_drop=0.02, coh_delay=0.02, coh_dup=0.01,
+    alert_drop=0.05, alert_spurious=0.002,
+    ot_walk_fail=0.05, l1_evict=0.01, sched_preempt=0.001,
+)
+
+
+def _config(system, chaos=None, invariants=False, watchdog=None):
+    return ExperimentConfig(
+        workload="HashTable",
+        system=system,
+        threads=2,
+        cycle_limit=40_000,
+        seed=9,
+        params=small_test_params(4),
+        chaos=chaos,
+        invariants=invariants,
+        watchdog=watchdog,
+    )
+
+
+def test_same_seed_same_spec_bit_identical():
+    first = run_experiment(_config("FlexTM", chaos=FAULTY, invariants=True))
+    second = run_experiment(_config("FlexTM", chaos=FAULTY, invariants=True))
+    assert first == second
+    assert any(key.startswith("chaos.") for key in first.stats)
+
+
+def test_different_chaos_seed_diverges():
+    import dataclasses
+
+    first = run_experiment(_config("FlexTM", chaos=FAULTY))
+    second = run_experiment(
+        _config("FlexTM", chaos=dataclasses.replace(FAULTY, seed=12))
+    )
+    injections = lambda result: {
+        key: value for key, value in result.stats.items() if key.startswith("chaos.")
+    }
+    assert injections(first) != injections(second)
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_zero_spec_identical_to_no_engine(system):
+    bare = run_experiment(_config(system))
+    armed = run_experiment(_config(system, chaos=ChaosSpec(seed=99)))
+    # The armed run carries no chaos counters (nothing fired) and must
+    # otherwise be indistinguishable.
+    assert not any(key.startswith("chaos.") for key in armed.stats)
+    assert armed == bare
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_invariants_and_watchdog_do_not_change_numbers(system):
+    bare = run_experiment(_config(system))
+    checked = run_experiment(
+        _config(system, invariants=True, watchdog=WatchdogSpec())
+    )
+    # Observation must be free: the checker asserts and the watchdog
+    # never fires on a healthy run (its boost stays 1, preserving the
+    # contention manager's RNG stream).
+    assert {k: v for k, v in checked.stats.items() if not k.startswith("watchdog.")} == bare.stats
+    assert (checked.cycles, checked.commits, checked.aborts) == (
+        bare.cycles, bare.commits, bare.aborts,
+    )
+    assert checked.per_thread == bare.per_thread

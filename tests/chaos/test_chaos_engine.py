@@ -1,0 +1,115 @@
+"""The deterministic fault-injection engine."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.chaos import CHAOS_RETRY_CYCLES, ChaosEngine, ChaosSpec
+
+#: Every fault site armed; used by the determinism tests.
+STORM = ChaosSpec(
+    seed=7,
+    coh_drop=0.2, coh_delay=0.2, coh_dup=0.2,
+    alert_drop=0.2, alert_spurious=0.2,
+    sig_false_positive=0.2, sig_false_negative=0.2,
+    ot_walk_fail=0.2, l1_evict=0.2, sched_preempt=0.2,
+)
+
+
+def _drive(engine: ChaosEngine):
+    """A fixed call sequence exercising every injection site."""
+    for line in range(0, 64 * 64, 64):
+        engine.coherence_extra_cycles(line)
+        engine.duplicate_response(line)
+        engine.alert_lost(line)
+        engine.spurious_alert()
+        engine.sig_member("rsig", line, bool(line & 64))
+        engine.sig_member("wsig", line, not (line & 64))
+        engine.ot_walk_failed(line)
+        if engine.l1_pressure():
+            engine.pick(4)
+        engine.forced_preempt()
+    return engine
+
+
+def test_default_spec_has_no_faults():
+    assert not ChaosSpec().any_faults
+    assert STORM.any_faults
+
+
+def test_zero_spec_injects_nothing():
+    engine = _drive(ChaosEngine(ChaosSpec(seed=3)))
+    assert engine.total_injected == 0
+    assert engine.log == []
+    assert not engine.injected
+
+
+def test_zero_probability_rolls_draw_no_stream_state():
+    # A zero-probability site must not consume RNG state: arming only
+    # coherence faults yields the same coherence stream whether or not
+    # the other sites are consulted in between.
+    spec = ChaosSpec(seed=5, coh_drop=0.3)
+    lines = list(range(0, 64 * 32, 64))
+    plain = ChaosEngine(spec)
+    first = [plain.coherence_extra_cycles(line) for line in lines]
+    mixed = ChaosEngine(spec)
+    second = []
+    for line in lines:
+        mixed.alert_lost(line)      # zero prob: no draw
+        mixed.forced_preempt()      # zero prob: no draw
+        second.append(mixed.coherence_extra_cycles(line))
+    assert first == second
+
+
+def test_same_spec_same_log():
+    assert _drive(ChaosEngine(STORM)).log == _drive(ChaosEngine(STORM)).log
+    assert (
+        _drive(ChaosEngine(STORM)).injected == _drive(ChaosEngine(STORM)).injected
+    )
+
+
+def test_different_seed_different_log():
+    other = dataclasses.replace(STORM, seed=8)
+    assert _drive(ChaosEngine(STORM)).log != _drive(ChaosEngine(other)).log
+
+
+def test_consecutive_drop_bound():
+    engine = ChaosEngine(ChaosSpec(seed=1, coh_drop=1.0, max_consecutive_drops=3))
+    # Certain drops still terminate: bounded NACK/retry latency.
+    assert engine.coherence_extra_cycles(0) == 3 * CHAOS_RETRY_CYCLES
+    assert engine.injected["coherence.drop"] == 3
+
+
+def test_delay_charges_spec_cycles():
+    engine = ChaosEngine(ChaosSpec(seed=1, coh_delay=1.0, coh_delay_cycles=77))
+    assert engine.coherence_extra_cycles(0x40) == 77
+    assert engine.log[-1] == ("coherence", "delay", 0x40)
+
+
+def test_sig_false_positive_only_fakes_hits():
+    engine = ChaosEngine(ChaosSpec(seed=1, sig_false_positive=1.0))
+    assert engine.sig_member("rsig", 0, False) is True
+    # A real hit is never flipped by the false-positive knob.
+    assert engine.sig_member("rsig", 0, True) is True
+    assert engine.injected["signature.false_positive.rsig"] == 1
+
+
+def test_sig_false_negative_only_hides_hits():
+    engine = ChaosEngine(ChaosSpec(seed=1, sig_false_negative=1.0))
+    assert engine.sig_member("wsig", 0, True) is False
+    assert engine.sig_member("wsig", 0, False) is False
+    assert engine.injected["signature.false_negative.wsig"] == 1
+
+
+def test_pick_is_in_range():
+    engine = ChaosEngine(ChaosSpec(seed=9, l1_evict=1.0))
+    for _ in range(50):
+        assert engine.l1_pressure()
+        assert 0 <= engine.pick(3) < 3
+
+
+def test_spec_is_frozen_and_picklable():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        STORM.seed = 1  # type: ignore[misc]
+    assert pickle.loads(pickle.dumps(STORM)) == STORM

@@ -9,7 +9,7 @@ across processors and checks global invariants after every operation:
 * flash abort erases all speculative state.
 """
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.coherence.states import LineState
@@ -53,6 +53,16 @@ def _check_invariants(machine, addresses, shadow):
 
 @given(st.lists(op_strategy, min_size=1, max_size=60))
 @settings(max_examples=60, deadline=None)
+# A non-transactional reader of a TMI line leaves a W-R CST bit on the
+# writer; commit must clear-and-resolve it (there is no enemy TSW to
+# abort) instead of wedging on CAS-Commit's CST check and leaking the
+# TMI line into a plain store.
+@example(
+    ops=[("tstore", 1, 3, 1),
+         ("load", 0, 3, 1),
+         ("commit", 1, 0, 1),
+         ("store", 1, 3, 1)],
+)
 def test_random_interleavings_preserve_invariants(ops):
     machine = FlexTMMachine(small_test_params(NUM_PROCS))
     base = machine.allocate(NUM_LINES * machine.params.line_bytes, line_aligned=True)
@@ -94,8 +104,14 @@ def test_random_interleavings_preserve_invariants(ops):
             overlays[proc][address] = value
         elif op == "commit":
             descriptor = descriptors.pop(proc)
-            # Abort W-R/W-W enemies first (the Commit() routine).
-            mask = machine.processors[proc].csts.must_abort_mask
+            # Figure 3's Commit(): snapshot-and-clear the W-R/W-W CSTs,
+            # then abort the enemies they name.  Clearing matters — a
+            # bit may name a *non-transactional* reader (strong
+            # isolation gives it the committed value and no TSW to
+            # abort), and CAS-Commit retries forever while the live
+            # registers are non-zero.
+            csts = machine.processors[proc].csts
+            mask = csts.w_r.copy_and_clear() | csts.w_w.copy_and_clear()
             enemy = 0
             while mask:
                 if mask & 1 and enemy != proc and enemy in descriptors:
@@ -110,6 +126,8 @@ def test_random_interleavings_preserve_invariants(ops):
             result = machine.cas_commit(proc)
             if result.success:
                 shadow.update(overlays[proc])
+            # On a lost race cas_commit has already flash-aborted the
+            # speculative state; either way the transaction is over.
             machine.processors[proc].end_transaction()
             overlays[proc] = {}
         elif op == "abort":

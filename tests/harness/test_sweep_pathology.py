@@ -1,0 +1,58 @@
+"""Opt-in pathology columns on sweep rows (``--pathology``)."""
+
+import csv
+import io
+
+from repro.core.descriptor import ConflictMode
+from repro.harness.sweep import (
+    PATHOLOGY_FIELDS,
+    ROW_FIELDS,
+    SweepSpec,
+    run_sweep,
+    to_csv,
+)
+from repro.params import small_test_params
+
+
+def _spec():
+    return SweepSpec(
+        workloads=["RandomGraph"],
+        systems=["FlexTM"],
+        thread_counts=(2,),
+        modes=(ConflictMode.EAGER,),
+        seeds=(3,),
+        cycle_limit=30_000,
+        params=small_test_params(4),
+    )
+
+
+def test_pathology_fields_are_appended_not_inserted():
+    # The default schema is locked elsewhere; the pathology columns may
+    # only ever extend it.
+    assert not set(PATHOLOGY_FIELDS) & set(ROW_FIELDS)
+
+
+def test_rows_without_flag_stay_on_locked_schema():
+    rows = run_sweep(_spec())
+    assert set(rows[0]) == set(ROW_FIELDS)
+
+
+def test_rows_with_flag_carry_indicator_columns():
+    rows = run_sweep(_spec(), pathology=True)
+    row = rows[0]
+    assert set(row) == set(ROW_FIELDS) | set(PATHOLOGY_FIELDS)
+    assert row["status"] == "ok"
+    assert row["aborts_per_commit"] >= 0.0
+    assert row["worst_pathology"] != ""
+    for grade_column in ("friendly_fire", "duelling_upgrade", "convoying"):
+        assert row[grade_column] != ""
+
+
+def test_pathology_csv_roundtrip():
+    rows = run_sweep(_spec(), pathology=True)
+    text = to_csv(rows, ROW_FIELDS + PATHOLOGY_FIELDS)
+    parsed = list(csv.DictReader(io.StringIO(text)))
+    assert list(parsed[0]) == ROW_FIELDS + PATHOLOGY_FIELDS
+    # Default rendering is untouched by the extra keys in the row dicts.
+    plain = run_sweep(_spec())
+    assert to_csv(plain).splitlines()[0] == ",".join(ROW_FIELDS)

@@ -1,0 +1,74 @@
+"""Golden tables for the contention managers' RNG streams.
+
+The Polka rulings and retry back-offs below were captured from the
+default ``DeterministicRng(0xC0)`` stream.  They lock the decision
+logic *and* the draw order: consuming one extra (or one fewer) random
+number anywhere in ``decide`` / ``retry_backoff`` shifts every
+subsequent value and fails this test.  The livelock watchdog's boost
+multiplies the back-off window, so ``boost == 1`` (the default) must
+reproduce the exact historical stream.
+"""
+
+from repro.runtime.contention import (
+    ConflictManager,
+    Decision,
+    PolkaManager,
+)
+
+#: (attempt, my_karma, enemy_karma) -> (decision, backoff) drawn in
+#: order from one fresh PolkaManager.
+POLKA_GOLDEN = [
+    ((0, 1, 5), ("wait", 12)),
+    ((1, 1, 5), ("wait", 20)),
+    ((2, 1, 5), ("wait", 12)),
+    ((3, 1, 5), ("wait", 120)),
+    ((4, 1, 5), ("abort-enemy", 0)),
+    ((0, 5, 1), ("wait", 10)),
+    ((0, 3, 3), ("wait", 14)),
+    ((1, 3, 3), ("abort-enemy", 0)),
+    ((0, 0, 10), ("wait", 11)),
+    ((5, 0, 10), ("wait", 437)),
+    ((6, 0, 10), ("abort-enemy", 0)),
+    ((2, 2, 8), ("wait", 36)),
+    ((7, 1, 9), ("abort-enemy", 0)),
+]
+
+#: aborts_in_a_row inputs -> retry_backoff outputs, drawn in order from
+#: one fresh (unboosted) ConflictManager.
+RETRY_GOLDEN = [
+    (1, 23), (1, 19), (2, 11), (3, 119), (4, 157),
+    (5, 434), (8, 2736), (12, 3491), (1, 17),
+]
+
+
+def test_polka_golden_stream():
+    manager = PolkaManager()
+    for call, (decision, backoff) in POLKA_GOLDEN:
+        ruling = manager.decide(*call)
+        assert (ruling.decision.value, ruling.backoff_cycles) == (decision, backoff), call
+
+
+def test_retry_backoff_golden_stream():
+    manager = ConflictManager()
+    for aborts, expected in RETRY_GOLDEN:
+        assert manager.retry_backoff(aborts) == expected, aborts
+
+
+def test_escalation_scales_the_window_not_the_stream():
+    # Boosted values come from the same stream positions with a 4x
+    # window; resetting restores the historical stream scale.
+    manager = ConflictManager()
+    manager.escalate()
+    manager.escalate()
+    assert manager.boost == 4
+    boosted = [manager.retry_backoff(n) for n in (1, 2, 3)]
+    assert boosted == [95, 153, 89]
+    manager.reset_escalation()
+    assert manager.boost == 1
+
+
+def test_polka_aborts_enemy_once_budget_exhausted():
+    manager = PolkaManager()
+    ruling = manager.decide(attempt=manager.max_attempts, my_karma=0, enemy_karma=100)
+    assert ruling.decision is Decision.ABORT_ENEMY
+    assert ruling.backoff_cycles == 0

@@ -34,6 +34,12 @@ invariant: directory lists are conservative over-approximations.)
 
 **Idle hygiene** (periodic sweep): a processor with no running
 transaction has clean signatures, CSTs, and overlay.
+
+**Irrevocable mutex** (periodic sweep, only when a degradation
+controller is installed): at most one thread holds the irrevocability
+token, and while serial mode is active no other registered transaction
+is ACTIVE — the mutual-exclusion half of the forward-progress
+guarantee (docs/RESILIENCE.md).
 """
 
 from __future__ import annotations
@@ -135,6 +141,7 @@ class InvariantChecker:
         self._check_plain_exclusivity(machine)
         self._check_owner_listing(machine)
         self._check_idle_hygiene(machine)
+        self._check_irrevocable_mutex(machine)
 
     def _plain_states(self, machine):
         """(line -> proc -> strongest plain state) over arrays + victims."""
@@ -202,4 +209,32 @@ class InvariantChecker:
                     "idle-hygiene",
                     f"idle proc {proc.proc_id} holds {len(proc.overlay)} "
                     f"speculative overlay values",
+                )
+
+    def _check_irrevocable_mutex(self, machine) -> None:
+        resilience = getattr(machine, "resilience", None)
+        if resilience is None:
+            return
+        holders = resilience.token_holders()
+        if len(holders) > 1:
+            raise InvariantViolation(
+                "irrevocable-mutex",
+                f"multiple irrevocability-token holders: {sorted(holders)}",
+            )
+        if not resilience.serial_active:
+            return
+        if not holders:
+            raise InvariantViolation(
+                "irrevocable-mutex",
+                "serial-irrevocable mode active with no token holder",
+            )
+        holder = holders[0]
+        for descriptor in machine._descriptors_by_tsw.values():
+            if descriptor.thread_id == holder:
+                continue
+            if machine.read_status(descriptor) is TxStatus.ACTIVE:
+                raise InvariantViolation(
+                    "irrevocable-mutex",
+                    f"thread {descriptor.thread_id} is ACTIVE while thread "
+                    f"{holder} runs serial-irrevocably",
                 )

@@ -81,6 +81,8 @@ class FlexTMMachine:
         #: Fault injection / invariant checking (opt-in, tracer-style).
         self.chaos = None
         self.invariants = None
+        #: Adaptive-degradation controller (opt-in, tracer-style).
+        self.resilience = None
         #: TSW address -> (wounder proc, conflict kind), staged by the
         #: runtime just before an abort CAS so the hardware-level TSW
         #: write can attribute the wound.
@@ -130,6 +132,18 @@ class FlexTMMachine:
     def set_invariants(self, checker) -> None:
         """Install (or remove, with None) a runtime invariant checker."""
         self.invariants = checker
+
+    def set_resilience(self, controller) -> None:
+        """Install (or remove, with None) a degradation controller.
+
+        Fanned out tracer-style: the processors need it for signature
+        quiescing and hash-family rotation at transaction begin.
+        """
+        self.resilience = controller
+        for proc in self.processors:
+            proc.resilience = controller
+        if controller is not None:
+            controller.attach(self)
 
     def _forward(
         self, responder: int, requestor: int, req_type: RequestType, line_address: int
@@ -322,6 +336,16 @@ class FlexTMMachine:
         old = self.memory.read(address)
         out = MemoryOpResult(value=old, cycles=result.cycles, conflicts=conflicts)
         if old == expected:
+            if (
+                self.resilience is not None
+                and new == TxStatus.ABORTED
+                and self.resilience.deflects(address)
+            ):
+                # Serial-irrevocable holder: abort writes bounce off its
+                # TSW (forward-progress guarantee).  success stays False.
+                self._staged_wounds.pop(address, None)
+                self.resilience.note_deflected()
+                return out
             if self.invariants is not None and address in self._descriptors_by_tsw:
                 self.invariants.on_tsw_write(address, old, new)
             self.memory.write(address, new)
@@ -410,6 +434,9 @@ class FlexTMMachine:
         """
         if self.memory.read(descriptor.tsw_address) != TxStatus.ACTIVE:
             return False
+        if self.resilience is not None and self.resilience.deflects(descriptor.tsw_address):
+            self.resilience.note_deflected()
+            return False
         if self.invariants is not None:
             self.invariants.on_tsw_write(
                 descriptor.tsw_address, int(TxStatus.ACTIVE), int(TxStatus.ABORTED)
@@ -465,6 +492,11 @@ class FlexTMMachine:
                 if descriptor is None:
                     continue
             if self.memory.read(descriptor.tsw_address) == TxStatus.ACTIVE:
+                if self.resilience is not None and self.resilience.deflects(
+                    descriptor.tsw_address
+                ):
+                    self.resilience.note_deflected()
+                    continue
                 if self.invariants is not None:
                     self.invariants.on_tsw_write(
                         descriptor.tsw_address, int(TxStatus.ACTIVE), int(TxStatus.ABORTED)

@@ -58,6 +58,8 @@ class FlexTMProcessor:
         self.tracer = NULL_TRACER
         #: Fault injection (installed by FlexTMMachine.set_chaos).
         self.chaos = None
+        #: Degradation controller (installed by set_resilience).
+        self.resilience = None
         self.clock = CycleClock()
         self.rsig = Signature(params.signature_bits, params.signature_hashes)
         self.wsig = Signature(params.signature_bits, params.signature_hashes)
@@ -97,6 +99,10 @@ class FlexTMProcessor:
         sig = self.wsig if which == "wsig" else self.rsig
         actual = sig.member(line_address)
         if self.chaos is not None and self.chaos.enabled and self.current is not None:
+            if self.resilience is not None and self.resilience.quiesced(self.proc_id):
+                # Serial-irrevocable holder: signatures are quiesced, so
+                # chaos corruption cannot touch its conflict answers.
+                return actual
             return self.chaos.sig_member(which, line_address, actual)
         return actual
 
@@ -201,6 +207,10 @@ class FlexTMProcessor:
         self.wsig.clear()
         self.csts.clear()
         self.conflict_partners = set()
+        if self.resilience is not None:
+            # Signatures are provably clean here — the only legal point
+            # to rotate the hash family (see DegradeSpec.sig_sustain).
+            self.resilience.maybe_rotate(self)
         if self.ot.active:
             self.ot.release()
 

@@ -38,6 +38,16 @@ Every backend runs under every seeded fault profile with invariants,
 the livelock watchdog, and the serializability oracle armed; the exit
 status is non-zero on any crash, wedge, or silent corruption.  See
 ``python -m repro.harness chaos --help`` and docs/ROBUSTNESS.md.
+
+The adaptive degradation ladder runs the same matrix with the
+resilience controller armed through the ``degrade`` subcommand::
+
+    python -m repro.harness degrade --seed 1 --jobs 2 --report degrade.json
+
+Each cell reports commits per ladder rung (healthy / boosted / eager /
+irrevocable) and time-to-recovery; the exit status is non-zero if any
+cell wedges — the forward-progress guarantee.  See
+``python -m repro.harness degrade --help`` and docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
@@ -69,6 +79,10 @@ def main(argv=None) -> int:
         from repro.harness.chaos import run_chaos_command
 
         return run_chaos_command(argv[1:])
+    if argv and argv[0] == "degrade":
+        from repro.harness.degrade import run_degrade_command
+
+        return run_degrade_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate FlexTM paper tables and figures.",

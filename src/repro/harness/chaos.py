@@ -111,6 +111,9 @@ class CellResult:
     cycles: int = 0
     aborts_by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
     watchdog: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Per-rung escalation counters from the run's RunResult (watchdog
+    #: ladder always; degradation ladder when a controller was armed).
+    escalations: Dict[str, int] = dataclasses.field(default_factory=dict)
     invariant_checks: int = 0
     detail: str = ""
 
@@ -199,6 +202,7 @@ def _run_cell(
         out["aborts"] = result.aborts
         out["cycles"] = result.cycles
         out["aborts_by_kind"] = dict(result.aborts_by_kind)
+        out["escalations"] = dict(result.escalations)
     except ReproError as error:
         out["error"] = f"{type(error).__name__}: {error}"
         out["error_kind"] = "repro"
@@ -269,6 +273,7 @@ def _classify(run: Dict[str, object], baseline: Dict[str, object],
         cycles=int(run["cycles"]),
         aborts_by_kind=dict(run["aborts_by_kind"]),
         watchdog=dict(run["watchdog"]),
+        escalations=dict(run.get("escalations", {})),
         invariant_checks=int(run["invariant_checks"]),
         detail=detail,
     )
@@ -362,6 +367,34 @@ def _comma_list(text: str) -> List[str]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def resolve_backends(names: Sequence[str]) -> List[str]:
+    """Case-insensitively canonicalize backend names (SystemExit on junk)."""
+    from repro.harness.runner import SYSTEMS
+
+    lowered = {key.lower(): key for key in SYSTEMS}
+    backends = []
+    for name in names:
+        key = lowered.get(name.lower())
+        if key is None:
+            raise SystemExit(
+                f"unknown backend {name!r}; choose from {', '.join(sorted(SYSTEMS))}"
+            )
+        backends.append(key)
+    return backends
+
+
+def resolve_profiles(names: Sequence[str]) -> List[str]:
+    """Validate fault-profile names (SystemExit on junk)."""
+    profiles = []
+    for name in names:
+        if name not in FAULT_PROFILES:
+            raise SystemExit(
+                f"unknown profile {name!r}; choose from {', '.join(FAULT_PROFILES)}"
+            )
+        profiles.append(name)
+    return profiles
+
+
 def render_matrix(rows: List[CellResult]) -> str:
     """Human-readable report table."""
     lines = []
@@ -392,8 +425,16 @@ def run_chaos_command(argv=None) -> int:
                         help="master seed for the fault matrix (default 1)")
     parser.add_argument("--backends", default=",".join(SYSTEMS),
                         help="comma-separated backend names (default: all)")
+    parser.add_argument("--backend", action="append", default=None,
+                        metavar="NAME", dest="backend",
+                        help="run a single backend (repeatable; overrides "
+                        "--backends)")
     parser.add_argument("--profiles", default=",".join(FAULT_PROFILES),
                         help="comma-separated fault profiles (default: all)")
+    parser.add_argument("--profile", action="append", default=None,
+                        metavar="NAME", dest="profile",
+                        help="run a single fault profile (repeatable; "
+                        "overrides --profiles)")
     parser.add_argument("--threads", type=int, default=DEFAULT_THREADS,
                         help="transactional threads per run")
     parser.add_argument("--txns", type=int, default=DEFAULT_TXNS,
@@ -408,22 +449,8 @@ def run_chaos_command(argv=None) -> int:
                         help="suppress progress on stderr")
     args = parser.parse_args(argv)
 
-    lowered = {key.lower(): key for key in SYSTEMS}
-    backends = []
-    for name in _comma_list(args.backends):
-        key = lowered.get(name.lower())
-        if key is None:
-            raise SystemExit(
-                f"unknown backend {name!r}; choose from {', '.join(sorted(SYSTEMS))}"
-            )
-        backends.append(key)
-    profiles = []
-    for name in _comma_list(args.profiles):
-        if name not in FAULT_PROFILES:
-            raise SystemExit(
-                f"unknown profile {name!r}; choose from {', '.join(FAULT_PROFILES)}"
-            )
-        profiles.append(name)
+    backends = resolve_backends(args.backend or _comma_list(args.backends))
+    profiles = resolve_profiles(args.profile or _comma_list(args.profiles))
 
     jobs = min(effective_jobs(args.jobs), len(backends))
     if not args.quiet:

@@ -17,6 +17,7 @@ from repro.core.descriptor import ConflictMode
 from repro.core.machine import FlexTMMachine
 from repro.obs.tracer import Tracer
 from repro.params import DEFAULT_PARAMS, SystemParams
+from repro.resilience import DegradeSpec, ResilienceController
 from repro.runtime.flextm import FlexTMRuntime
 from repro.runtime.scheduler import RunResult, Scheduler
 from repro.runtime.txthread import TxThread
@@ -92,6 +93,9 @@ class ExperimentConfig:
     invariants: bool = False
     #: Robustness: liveness watchdog parameters (None = no watchdog).
     watchdog: Optional["WatchdogSpec"] = None
+    #: Resilience: degradation-ladder parameters (None = no controller;
+    #: controller-off runs are bit-identical to pre-resilience builds).
+    degrade: Optional["DegradeSpec"] = None
 
     def resolved_cycle_limit(self) -> int:
         return self.cycle_limit or default_cycle_limit()
@@ -111,7 +115,13 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         machine.set_chaos(ChaosEngine(config.chaos, stats=machine.stats))
     if config.invariants:
         machine.set_invariants(InvariantChecker())
+    controller = None
+    if config.degrade is not None:
+        controller = ResilienceController(config.degrade)
+        machine.set_resilience(controller)
     backend = SYSTEMS[config.system](machine, config.mode)
+    if controller is not None:
+        controller.bind_manager(getattr(backend, "manager", None))
     workload = WORKLOADS[config.workload](machine, seed=config.seed)
     abort_prime = None
     if config.yield_on_abort:

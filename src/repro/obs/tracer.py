@@ -35,6 +35,9 @@ Event taxonomy (the ``kind`` field of :class:`TraceEvent`):
 ``coh_evict``             L1 eviction (victimized line + state)
 ``watchdog_*``            liveness-watchdog ladder (escalate / backoff_boost /
                           forced_abort / recover)
+``degrade_*``             degradation-ladder actions (escalate / policy_flip /
+                          rotate / irrevocable_grant / irrevocable_drain /
+                          irrevocable_release / recover)
 ========================  =====================================================
 """
 
@@ -142,6 +145,12 @@ class Tracer:
 
     def watchdog(self, cycle: int, what: str, **data) -> None:
         """Watchdog escalation ladder events (escalate/boost/abort/recover)."""
+        pass
+
+    # -- degradation ladder ------------------------------------------------------
+
+    def degrade(self, cycle: int, what: str, **data) -> None:
+        """Resilience-controller actions (escalate/flip/rotate/irrevocable)."""
         pass
 
     # -- run boundary ----------------------------------------------------------
@@ -259,6 +268,12 @@ class EventTracer(Tracer):
 
     def watchdog(self, cycle, what, **data):
         self._record(TraceEvent(f"watchdog_{what}", cycle, proc=-1,
+                                data=dict(data) if data else None))
+
+    # -- degradation ladder ------------------------------------------------------
+
+    def degrade(self, cycle, what, **data):
+        self._record(TraceEvent(f"degrade_{what}", cycle, proc=-1,
                                 data=dict(data) if data else None))
 
     # -- run boundary ----------------------------------------------------------

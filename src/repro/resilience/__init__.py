@@ -1,0 +1,35 @@
+"""Adaptive degradation: pressure sensors, fallback ladder, irrevocability.
+
+Public surface of the resilience layer::
+
+    from repro.resilience import DegradeSpec, ResilienceController
+    from repro.resilience import IrrevocabilityToken, Rung
+    from repro.resilience import PressureSample, sample_machine
+
+See docs/RESILIENCE.md for the sensor list, the escalation ladder, the
+serial-irrevocable protocol, and the starvation-freedom argument.
+"""
+
+from repro.resilience.degrade import (
+    DegradeSpec,
+    ResilienceController,
+    Rung,
+    family_seed,
+    rung_for,
+    should_rotate,
+)
+from repro.resilience.irrevocable import IrrevocabilityToken
+from repro.resilience.pressure import PressureSample, record_samples, sample_machine
+
+__all__ = [
+    "DegradeSpec",
+    "IrrevocabilityToken",
+    "PressureSample",
+    "ResilienceController",
+    "Rung",
+    "family_seed",
+    "record_samples",
+    "rung_for",
+    "sample_machine",
+    "should_rotate",
+]

@@ -1,0 +1,83 @@
+"""The single-token serial-irrevocable mode.
+
+FlexTM's decoupled mechanisms make an irrevocability escape hatch cheap
+to build in software: a single memory-resident token serializes the
+degraded path, AOU-targeted aborts (``CAS ACTIVE -> ABORTED`` on each
+peer's TSW) drain in-flight transactions, and the holder then runs with
+its signatures quiesced and every wound attempt deflected — so it is
+*guaranteed* to commit.  Requesters wait in FIFO order, which is what
+turns "eventually commits" into the testable bounded-retry
+starvation-freedom property of docs/RESILIENCE.md.
+
+The token is pure software state (no RNG, no clock reads); granting and
+releasing are driven entirely by the
+:class:`~repro.resilience.degrade.ResilienceController`.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, List, Optional
+
+
+class IrrevocabilityToken:
+    """A FIFO-granted, mutually exclusive irrevocability token.
+
+    At most one thread holds the token at any time (asserted by the
+    ``irrevocable-mutex`` invariant).  Requesters enqueue once and are
+    granted strictly in arrival order, so the wait of the *k*-th
+    requester is bounded by the serial commits of the *k-1* ahead of it.
+    """
+
+    def __init__(self):
+        #: Thread id of the current holder (None when free).
+        self.holder: Optional[int] = None
+        self._queue: Deque[int] = collections.deque()
+        #: Telemetry.
+        self.grants = 0
+        self.releases = 0
+
+    @property
+    def busy(self) -> bool:
+        """True while anyone holds or awaits the token.
+
+        Admission gates on this: no *new* transaction starts while the
+        system is draining into (or running in) serial mode.
+        """
+        return self.holder is not None or bool(self._queue)
+
+    def enqueue(self, thread_id: int) -> None:
+        """Join the FIFO (idempotent; the holder never re-queues)."""
+        if thread_id == self.holder or thread_id in self._queue:
+            return
+        self._queue.append(thread_id)
+
+    def try_grant(self, thread_id: int) -> bool:
+        """Poll for the token; True when ``thread_id`` is the holder."""
+        if self.holder == thread_id:
+            return True
+        if self.holder is None and self._queue and self._queue[0] == thread_id:
+            self._queue.popleft()
+            self.holder = thread_id
+            self.grants += 1
+            return True
+        return False
+
+    def release(self, thread_id: int) -> None:
+        """Return the token (a no-op unless ``thread_id`` holds it)."""
+        if self.holder == thread_id:
+            self.holder = None
+            self.releases += 1
+
+    def holders(self) -> List[int]:
+        """All current holders — length > 1 is an invariant violation."""
+        return [] if self.holder is None else [self.holder]
+
+    def waiting(self) -> List[int]:
+        return list(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"IrrevocabilityToken(holder={self.holder}, "
+            f"queue={list(self._queue)}, grants={self.grants})"
+        )

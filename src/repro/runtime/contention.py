@@ -43,16 +43,23 @@ class ConflictManager:
 
     def __init__(self, rng: DeterministicRng = None):
         self.rng = rng or DeterministicRng(0xC0)
-        #: Watchdog escalation multiplier applied to back-off windows.
+        #: Watchdog/ladder escalation multiplier for back-off windows.
         #: Stays 1 unless :meth:`escalate` is called, so the RNG stream
-        #: (and every decision) is bit-identical without a watchdog.
+        #: (and every decision) is bit-identical without an escalator.
         self.boost = 1
+        #: How many times escalate() fired (telemetry; no RNG draws).
+        self.escalations = 0
 
     def decide(self, attempt: int, my_karma: int, enemy_karma: int) -> Ruling:
         raise NotImplementedError
 
     def escalate(self, growth: int = 2, max_boost: int = 8) -> int:
-        """Livelock-watchdog hook: bounded multiplicative back-off growth."""
+        """Escalation hook: bounded multiplicative back-off growth.
+
+        Consumes no random numbers, so callers (livelock watchdog, the
+        degradation ladder) never perturb the golden decision streams.
+        """
+        self.escalations += 1
         self.boost = min(self.boost * max(1, growth), max(1, max_boost))
         return self.boost
 

@@ -84,6 +84,15 @@ class FlexTMRuntime(TMBackend):
             thread.descriptor = descriptor
         descriptor.incarnation += 1
         descriptor.accesses = 0
+        # The E/L bit is re-derived per attempt: the degradation ladder
+        # may flip a starving lazy transaction to eager (paper §Policy
+        # flexibility).  Without a controller this is always self.mode.
+        resilience = self.machine.resilience
+        descriptor.mode = (
+            resilience.mode_for(thread, self.mode)
+            if resilience is not None
+            else self.mode
+        )
         descriptor.run_state = RunState.RUNNING
         descriptor.saved = None
         self.machine.register_descriptor(descriptor)
@@ -99,13 +108,13 @@ class FlexTMRuntime(TMBackend):
 
     def read(self, thread, address: int) -> Iterator[Tuple]:
         result = yield from self._issue(thread, ("tload", address))
-        if self.mode is ConflictMode.EAGER and result.conflicts:
+        if thread.descriptor.mode is ConflictMode.EAGER and result.conflicts:
             yield from self._manage_conflicts(thread, result.conflicts, AccessKind.TLOAD)
         return result.value
 
     def write(self, thread, address: int, value: int) -> Iterator[Tuple]:
         result = yield from self._issue(thread, ("tstore", address, value))
-        if self.mode is ConflictMode.EAGER and result.conflicts:
+        if thread.descriptor.mode is ConflictMode.EAGER and result.conflicts:
             yield from self._manage_conflicts(thread, result.conflicts, AccessKind.TSTORE)
 
     def _issue(self, thread, op: Tuple) -> Iterator[Tuple]:
@@ -317,7 +326,13 @@ class FlexTMRuntime(TMBackend):
         if processor != saved.last_processor:
             # Routed through the machine so the abort carries attribution
             # and the TSW write stays invariant-checked.
-            self.machine.force_abort(descriptor, by=-1, kind="migration")
+            if not self.machine.force_abort(descriptor, by=-1, kind="migration"):
+                # The TSW resolved while descheduled (e.g. the flash
+                # commit landed but the commit path was interrupted);
+                # the restart is still migration policy, so stamp the
+                # attribution the CAS could not deliver.
+                descriptor.wounded_by = -1
+                descriptor.wound_kind = "migration"
             descriptor.saved = None
             self.machine.stats.counter("ctxsw.migration_aborts").increment()
             return "aborted"

@@ -42,8 +42,12 @@ class RunResult:
     stats: Dict[str, int]
     conflict_degrees: List[int]
     #: Abort counts keyed by conflict kind ("R-W", "W-R", "W-W", "SI",
-    #: "migration", "watchdog", "unattributed").
+    #: "migration", "watchdog", "irrevocable", "unattributed").
     aborts_by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Escalation-ladder counters (watchdog boosts/kills, resilience
+    #: rung transitions, irrevocable grants) — empty unless a watchdog
+    #: or degradation controller was armed.
+    escalations: Dict[str, int] = dataclasses.field(default_factory=dict)
     #: The run's EventTracer when one was attached (None otherwise).
     #: Excluded from comparison/repr: tracing never changes the numbers.
     trace: Optional[object] = dataclasses.field(default=None, compare=False, repr=False)
@@ -118,6 +122,7 @@ class Scheduler:
         if cycle_limit <= 0:
             raise SchedulerError("cycle_limit must be positive")
         invariants = self.machine.invariants
+        resilience = self.machine.resilience
         steps = 0
         while True:
             proc = self._pick_processor(cycle_limit)
@@ -127,6 +132,8 @@ class Scheduler:
             steps += 1
             if self.watchdog is not None:
                 self.watchdog.observe(self)
+            if resilience is not None:
+                resilience.on_step(self)
             if invariants is not None and steps % invariants.check_interval == 0:
                 invariants.check_machine(self.machine)
         if invariants is not None:
@@ -150,17 +157,24 @@ class Scheduler:
         slot = self._running[proc]
         clock = self.machine.processors[proc].clock
         chaos = self.machine.chaos
+        resilience = self.machine.resilience
+        # The serial-irrevocable holder is pinned: neither chaos storms
+        # nor quantum expiry may deschedule it (a migration would abort
+        # it and void the forward-progress guarantee).  The chaos dice
+        # still roll so the injection streams stay aligned.
+        pinned = resilience is not None and resilience.pinned(slot.thread)
         if chaos is not None and chaos.enabled:
             if chaos.spurious_alert():
                 self.machine.processors[proc].alerts.raise_alert(-1, "spurious")
                 clock.advance(SPURIOUS_ALERT_CYCLES)
-            if chaos.forced_preempt():
+            if chaos.forced_preempt() and not pinned:
                 # Context-switch storm: preempt regardless of quantum.
                 self._preempt(proc, slot)
                 return
         if (
             self.quantum is not None
             and self._ready
+            and not pinned
             and clock.now - slot.slice_start >= self.quantum
         ):
             self._preempt(proc, slot)
@@ -307,6 +321,13 @@ class Scheduler:
                 aborts_by_kind[kind] = aborts_by_kind.get(kind, 0) + count
         elapsed = min(self.machine.max_cycle(), cycle_limit)
         degrees = self.machine.stats.histogram("cst.conflict_degree")
+        escalations: Dict[str, int] = {}
+        if self.watchdog is not None:
+            escalations["watchdog_escalations"] = self.watchdog.escalations
+            escalations["watchdog_kills"] = self.watchdog.forced_aborts
+        resilience = self.machine.resilience
+        if resilience is not None:
+            escalations.update(resilience.escalation_counters())
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.finalize([proc.clock.now for proc in self.machine.processors])
@@ -327,5 +348,6 @@ class Scheduler:
             stats=self.machine.stats.snapshot(),
             conflict_degrees=list(degrees._samples),
             aborts_by_kind=dict(sorted(aborts_by_kind.items())),
+            escalations=escalations,
             trace=tracer if tracer.enabled else None,
         )

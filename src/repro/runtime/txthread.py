@@ -84,7 +84,13 @@ class TxThread:
     def _run_transaction(self, ctx: TxContext, body: Callable) -> Iterator[Tuple]:
         aborts_in_a_row = 0
         incarnation = 0
+        resilience = self._resilience()
         while True:
+            if resilience is not None:
+                # Degradation-ladder admission: spins while another
+                # thread runs irrevocably; acquires the token when this
+                # thread's own rung demands serial mode.
+                yield from resilience.admission(self)
             try:
                 self.in_transaction = True
                 incarnation += 1
@@ -98,11 +104,15 @@ class TxThread:
                         self.processor, self.thread_id, self._now(),
                         self.backend.name, incarnation,
                     )
+                if resilience is not None:
+                    resilience.on_attempt(self, self._now())
                 yield from self.backend.begin(self)
                 yield from body(ctx)
                 yield from self.backend.commit(self)
                 self.in_transaction = False
                 self.commits += 1
+                if resilience is not None:
+                    resilience.on_commit(self, self._now())
                 if tracer.enabled:
                     tracer.tx_commit(self.processor, self.thread_id, self._now())
                 return
@@ -119,6 +129,8 @@ class TxThread:
                         by = getattr(self.descriptor, "wounded_by", -1)
                 key = conflict or "unattributed"
                 self.abort_kinds[key] = self.abort_kinds.get(key, 0) + 1
+                if resilience is not None:
+                    resilience.on_abort(self, self._now())
                 yield from self.backend.on_abort(self)
                 tracer = self._tracer()
                 if tracer.enabled:
@@ -142,6 +154,10 @@ class TxThread:
     def _tracer(self):
         machine = getattr(self.backend, "machine", None)
         return machine.tracer if machine is not None else NULL_TRACER
+
+    def _resilience(self):
+        machine = getattr(self.backend, "machine", None)
+        return machine.resilience if machine is not None else None
 
     def _now(self) -> int:
         """The owning processor's current cycle (0 when descheduled)."""

@@ -35,6 +35,12 @@ class Signature:
         # One int bitmap per bank; Python ints give flash-clear for free.
         self._banks = [0] * num_hashes
         self._inserted = 0
+        #: True once bits inserted under a *different* hash family were
+        #: unioned in.  Such bits cannot be probed exactly with this
+        #: signature's hashes, so membership/intersection degrade to the
+        #: fully conservative answer (see the resilience layer's hash
+        #: rotation, docs/RESILIENCE.md).
+        self._foreign = False
 
     # -- Table 4(a) interface -------------------------------------------------
 
@@ -48,8 +54,13 @@ class Signature:
         """``member [%r], Sig`` — conservative membership test.
 
         True for every inserted address; may be true for others
-        (false positives), never false for an inserted one.
+        (false positives), never false for an inserted one.  A signature
+        holding foreign-family bits answers True for everything while
+        non-empty: its hashes cannot probe those bits exactly, and a
+        false negative would be unsafe.
         """
+        if self._foreign:
+            return not self.is_empty
         for bank, index in enumerate(self._family.indices(address)):
             if not (self._banks[bank] >> index) & 1:
                 return False
@@ -66,25 +77,38 @@ class Signature:
         """``clear Sig`` — flash-zero the register."""
         self._banks = [0] * self.num_hashes
         self._inserted = 0
+        self._foreign = False
 
     # -- software/OS-level operations -----------------------------------------
 
     def union(self, other: "Signature") -> None:
-        """OR another signature into this one (summary-signature build)."""
+        """OR another signature into this one (summary-signature build).
+
+        Unioning a signature built from a different hash family marks
+        the result foreign: the merged bits are only meaningful to the
+        family that produced them, so every later probe must answer
+        conservatively.
+        """
         if other.bits != self.bits or other.num_hashes != self.num_hashes:
             raise ValueError("cannot union signatures of different shapes")
         for bank in range(self.num_hashes):
             self._banks[bank] |= other._banks[bank]
         self._inserted += other._inserted
+        if other._foreign or (other._family is not self._family and not other.is_empty):
+            self._foreign = True
 
     def intersects(self, other: "Signature") -> bool:
         """True when the two filters share a set bit in every bank.
 
         Conservative set-intersection test used when comparing a saved
-        transaction signature against a request signature.
+        transaction signature against a request signature.  Signatures
+        built from different hash families cannot be compared bank-wise;
+        two non-empty filters then conservatively intersect.
         """
         if other.bits != self.bits or other.num_hashes != self.num_hashes:
             raise ValueError("cannot intersect signatures of different shapes")
+        if self._foreign or other._foreign or self._family is not other._family:
+            return not (self.is_empty or other.is_empty)
         return all(self._banks[b] & other._banks[b] for b in range(self.num_hashes))
 
     def insert_all(self, addresses: Iterable[int]) -> None:
@@ -96,7 +120,25 @@ class Signature:
         clone = Signature(self.bits, self.num_hashes, family=self._family)
         clone._banks = list(self._banks)
         clone._inserted = self._inserted
+        clone._foreign = self._foreign
         return clone
+
+    @property
+    def family(self) -> HashFamily:
+        """The hash family currently wired to this register."""
+        return self._family
+
+    def rebind_family(self, family: HashFamily) -> None:
+        """Swap the hash family; only legal while the register is clear.
+
+        Models the resilience layer's hash-rotation escape hatch: the
+        hardware can only re-wire the hash network between transactions,
+        when no bits depend on the old family.
+        """
+        if not self.is_empty:
+            raise ValueError("cannot rebind the hash family of a non-empty signature")
+        self._family = family
+        self._foreign = False
 
     @property
     def is_empty(self) -> bool:
@@ -115,6 +157,22 @@ class Signature:
     def occupancy(self) -> float:
         """Fraction of bits set — a proxy for false-positive pressure."""
         return self.popcount / self.bits
+
+    def bank_fills(self) -> list:
+        """Per-bank fill fraction (set bits / bank width)."""
+        return [bin(bank).count("1") / self._bank_bits for bank in self._banks]
+
+    def false_positive_estimate(self) -> float:
+        """Probability a never-inserted address tests positive.
+
+        A probe hits one independent index per bank, so the estimate is
+        the product of the per-bank fill fractions.  Exact for an
+        idealised banked filter; a good sensor for the real one.
+        """
+        estimate = 1.0
+        for fill in self.bank_fills():
+            estimate *= fill
+        return estimate
 
     def __repr__(self) -> str:
         return (

@@ -85,6 +85,12 @@ class RecordingBackend(TMBackend):
     def name(self) -> str:  # type: ignore[override]
         return f"Recorded({self.inner.name})"
 
+    @property
+    def machine(self):
+        """The inner backend's machine (threads discover the tracer,
+        chaos, and resilience layers through ``backend.machine``)."""
+        return getattr(self.inner, "machine", None)
+
     def begin(self, thread) -> Iterator[Tuple]:
         self._attempts[thread.thread_id] = ({}, {})
         result = yield from self.inner.begin(thread)

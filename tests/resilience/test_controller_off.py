@@ -1,0 +1,84 @@
+"""The controller-off determinism contract.
+
+Two properties, for every TM backend:
+
+* no controller -> bit-identical replays (the baseline the resilience
+  layer must not move);
+* a controller whose thresholds can never trip changes nothing but its
+  own ``resilience.*`` sensor histograms and the (all-zero) escalation
+  counters on the result — the hook sites are free until the ladder
+  actually fires.
+
+And one more: an *armed* controller is itself deterministic — same
+spec, same seed, same run, bit for bit.
+"""
+
+import pytest
+
+from repro.chaos import ChaosSpec
+from repro.harness.runner import SYSTEMS, ExperimentConfig, run_experiment
+from repro.params import small_test_params
+from repro.resilience import DegradeSpec
+
+#: Thresholds no finite run reaches: the controller observes, never acts.
+INERT = DegradeSpec(
+    boost_after=10**9, eager_after=10**9, irrevocable_after=10**9,
+    sig_sustain=10**9,
+)
+
+#: A ladder tight enough to fire on any contended run.
+TIGHT = DegradeSpec(boost_after=1, eager_after=2, irrevocable_after=3)
+
+
+def _config(system, degrade=None, chaos=None):
+    return ExperimentConfig(
+        workload="HashTable",
+        system=system,
+        threads=2,
+        cycle_limit=40_000,
+        seed=9,
+        params=small_test_params(4),
+        degrade=degrade,
+        chaos=chaos,
+    )
+
+
+def _observable(result):
+    """Everything the controller must not perturb when inert."""
+    stats = {
+        key: value
+        for key, value in result.stats.items()
+        if not key.startswith("resilience.")
+    }
+    return (
+        result.cycles, result.commits, result.aborts, result.per_thread,
+        result.aborts_by_kind, stats,
+    )
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_no_controller_is_deterministic(system):
+    assert run_experiment(_config(system)) == run_experiment(_config(system))
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_inert_controller_changes_nothing(system):
+    bare = run_experiment(_config(system))
+    armed = run_experiment(_config(system, degrade=INERT))
+    assert _observable(armed) == _observable(bare)
+    # The inert ladder reports itself honestly: zero escalations.
+    assert armed.escalations.get("boosts", 0) == 0
+    assert armed.escalations.get("policy_flips", 0) == 0
+    assert armed.escalations.get("irrevocable_grants", 0) == 0
+    assert armed.escalations.get("sig_rotations", 0) == 0
+    # Sensors did run (sampling is the only observable difference).
+    assert any(key.startswith("resilience.") for key in armed.stats)
+    assert not any(key.startswith("resilience.") for key in bare.stats)
+
+
+def test_armed_controller_is_deterministic():
+    chaos = ChaosSpec(seed=11, sched_preempt=0.002, sig_false_positive=0.05)
+    first = run_experiment(_config("FlexTM", degrade=TIGHT, chaos=chaos))
+    second = run_experiment(_config("FlexTM", degrade=TIGHT, chaos=chaos))
+    assert first == second
+    assert first.escalations == second.escalations

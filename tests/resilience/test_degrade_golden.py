@@ -1,0 +1,102 @@
+"""Golden tables for the degradation ladder's decision functions.
+
+Like tests/runtime/test_contention_golden.py, these lock *decisions*,
+not just types: the streak->rung mapping, the rotation predicate, and
+the per-generation hash-family seeds are part of the determinism
+contract (armed runs replay bit-identically), so any change here must
+be deliberate and visible.
+"""
+
+from repro.resilience import DegradeSpec, Rung, family_seed, rung_for, should_rotate
+from repro.signatures.bloom import Signature
+from repro.signatures.hashing import make_hash_family
+
+DEFAULT = DegradeSpec()
+
+#: streak -> rung under the library-default thresholds (2 / 4 / 6).
+RUNG_GOLDEN = [
+    (0, Rung.HEALTHY),
+    (1, Rung.HEALTHY),
+    (2, Rung.BOOSTED),
+    (3, Rung.BOOSTED),
+    (4, Rung.EAGER),
+    (5, Rung.EAGER),
+    (6, Rung.IRREVOCABLE),
+    (7, Rung.IRREVOCABLE),
+    (100, Rung.IRREVOCABLE),
+]
+
+#: streak -> rung under the harness ladder (1 / 2 / 3).
+HARNESS_RUNG_GOLDEN = [
+    (0, Rung.HEALTHY),
+    (1, Rung.BOOSTED),
+    (2, Rung.EAGER),
+    (3, Rung.IRREVOCABLE),
+    (4, Rung.IRREVOCABLE),
+]
+
+#: (hot_streak, rotations) -> rotate? under the default spec
+#: (sig_sustain=3, max_rotations=4).
+ROTATE_GOLDEN = [
+    ((0, 0), False),
+    ((1, 0), False),
+    ((2, 0), False),
+    ((3, 0), True),
+    ((4, 0), True),
+    ((3, 3), True),
+    ((3, 4), False),
+    ((10, 4), False),
+    ((10, 3), True),
+]
+
+
+def test_rung_golden_table():
+    for streak, rung in RUNG_GOLDEN:
+        assert rung_for(DEFAULT, streak) is rung, streak
+
+
+def test_harness_rung_golden_table():
+    from repro.harness.degrade import HARNESS_SPEC
+
+    for streak, rung in HARNESS_RUNG_GOLDEN:
+        assert rung_for(HARNESS_SPEC, streak) is rung, streak
+
+
+def test_rung_is_monotonic_in_streak():
+    rungs = [rung_for(DEFAULT, streak) for streak in range(20)]
+    assert rungs == sorted(rungs)
+    assert rungs[0] is Rung.HEALTHY
+    assert rungs[-1] is Rung.IRREVOCABLE
+
+
+def test_rotation_golden_table():
+    for (hot_streak, rotations), expected in ROTATE_GOLDEN:
+        assert should_rotate(DEFAULT, hot_streak, rotations) is expected, (
+            hot_streak, rotations,
+        )
+
+
+def test_default_spec_pinned():
+    # Threshold changes must be deliberate: they shift every armed run.
+    assert (DEFAULT.boost_after, DEFAULT.eager_after, DEFAULT.irrevocable_after) == (2, 4, 6)
+    assert (DEFAULT.boost_growth, DEFAULT.max_boost) == (2, 8)
+    assert DEFAULT.sample_interval == 64
+    assert (DEFAULT.sig_fill_threshold, DEFAULT.sig_fp_threshold) == (0.55, 0.30)
+    assert (DEFAULT.sig_sustain, DEFAULT.max_rotations) == (3, 4)
+    assert DEFAULT.token_poll_cycles == 40
+
+
+def test_family_seed_generation_zero_is_the_default_family():
+    # An installed-but-idle controller must never change a probe:
+    # generation 0 resolves to the exact family every Signature wires
+    # up by default (make_hash_family is cached, so identity holds).
+    assert family_seed(0) == 0xF1E7
+    default_family = Signature(256, 4).family
+    assert make_hash_family(256, 4, seed=family_seed(0)) is default_family
+
+
+def test_family_seeds_are_distinct_per_generation():
+    seeds = [family_seed(generation) for generation in range(6)]
+    assert len(set(seeds)) == len(seeds)
+    # And deterministic (pure function).
+    assert seeds == [family_seed(generation) for generation in range(6)]

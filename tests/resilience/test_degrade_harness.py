@@ -1,0 +1,91 @@
+"""CLI surface of ``harness degrade`` plus the new ``harness chaos``
+filters and report fields."""
+
+import json
+
+import pytest
+
+from repro.harness.chaos import run_chaos_command
+from repro.harness.degrade import run_degrade_command
+
+
+def test_degrade_cli_smoke_and_report_schema(tmp_path, capsys):
+    report = tmp_path / "degrade.json"
+    status = run_degrade_command([
+        "--backend", "FlexTM", "--profile", "sched", "--threads", "2",
+        "--txns", "3", "--quiet", "--report", str(report),
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "FlexTM" in out and "sched" in out
+    document = json.loads(report.read_text())
+    assert document["ok"] is True
+    assert document["backends"] == ["FlexTM"]
+    assert document["profiles"] == ["sched"]
+    assert document["mode"] == "lazy"
+    assert document["spec"]["irrevocable_after"] == 3
+    (cell,) = document["cells"]
+    assert cell["backend"] == "FlexTM"
+    assert cell["classification"] not in ("crash", "wedged", "silent-corruption")
+    assert set(cell["commits_by_rung"]) == {
+        "healthy", "boosted", "eager", "irrevocable",
+    }
+    assert set(cell["recovery"]) == {"count", "mean", "max"}
+    assert "escalations" in cell
+
+
+def test_degrade_cli_is_deterministic(tmp_path, capsys):
+    reports = []
+    for name in ("a.json", "b.json"):
+        path = tmp_path / name
+        assert run_degrade_command([
+            "--backend", "FlexTM", "--profile", "storm", "--threads", "2",
+            "--txns", "3", "--quiet", "--report", str(path),
+        ]) == 0
+        reports.append(json.loads(path.read_text()))
+    capsys.readouterr()
+    assert reports[0] == reports[1]
+
+
+def test_degrade_cli_rejects_unknown_names():
+    with pytest.raises(SystemExit):
+        run_degrade_command(["--backend", "NoSuchTM", "--quiet"])
+    with pytest.raises(SystemExit):
+        run_degrade_command(["--profile", "earthquake", "--quiet"])
+
+
+def test_degrade_cli_eager_mode(tmp_path, capsys):
+    report = tmp_path / "eager.json"
+    assert run_degrade_command([
+        "--backend", "FlexTM", "--profile", "sched", "--threads", "2",
+        "--txns", "3", "--mode", "eager", "--quiet", "--report", str(report),
+    ]) == 0
+    capsys.readouterr()
+    document = json.loads(report.read_text())
+    assert document["mode"] == "eager"
+    # Already-eager transactions have nothing to flip to.
+    assert document["cells"][0]["escalations"].get("policy_flips", 0) == 0
+
+
+def test_chaos_cli_single_cell_filters(tmp_path, capsys):
+    report = tmp_path / "chaos.json"
+    status = run_chaos_command([
+        "--backend", "flextm", "--profile", "sched", "--seed", "2",
+        "--threads", "2", "--txns", "3", "--quiet", "--report", str(report),
+    ])
+    assert status == 0
+    capsys.readouterr()
+    document = json.loads(report.read_text())
+    # Case-insensitive canonicalization, one backend x one profile.
+    assert document["backends"] == ["FlexTM"]
+    assert document["profiles"] == ["sched"]
+    (cell,) = document["cells"]
+    # Satellite: the chaos report now carries escalation counters.
+    assert "escalations" in cell
+
+
+def test_chaos_cli_filters_reject_unknown_names():
+    with pytest.raises(SystemExit):
+        run_chaos_command(["--backend", "NoSuchTM", "--quiet"])
+    with pytest.raises(SystemExit):
+        run_chaos_command(["--profile", "earthquake", "--quiet"])

@@ -1,0 +1,130 @@
+"""Pressure sensors and the signature plumbing they rely on."""
+
+import pytest
+
+from repro.core.machine import FlexTMMachine
+from repro.params import small_test_params
+from repro.resilience import PressureSample, record_samples, sample_machine
+from repro.signatures.bloom import Signature
+from repro.signatures.hashing import make_hash_family
+from repro.sim.stats import StatsRegistry
+from tests.helpers import begin_hardware_transaction
+
+# -- signature sensor surface -------------------------------------------------
+
+
+def test_bank_fills_and_fp_estimate_empty():
+    sig = Signature(256, 4)
+    assert sig.bank_fills() == [0.0, 0.0, 0.0, 0.0]
+    assert sig.false_positive_estimate() == 0.0
+
+
+def test_fp_estimate_grows_with_inserts():
+    sig = Signature(256, 4)
+    sig.insert(0x40)
+    one = sig.false_positive_estimate()
+    sig.insert_all(range(0x80, 0x80 + 64))
+    many = sig.false_positive_estimate()
+    assert 0.0 < one < many <= 1.0
+    assert all(0.0 < fill <= 1.0 for fill in sig.bank_fills())
+
+
+def test_rebind_family_requires_empty_register():
+    sig = Signature(256, 4)
+    rotated = make_hash_family(256, 4, seed=0xBEEF)
+    sig.insert(0x40)
+    with pytest.raises(ValueError):
+        sig.rebind_family(rotated)
+    sig.clear()
+    sig.rebind_family(rotated)
+    assert sig.family is rotated
+    sig.insert(0x40)
+    assert sig.member(0x40)
+
+
+def test_cross_family_union_degrades_conservatively():
+    # Rotation soundness: bits inserted under another family can never
+    # produce a false negative — probes and intersections go fully
+    # conservative instead.
+    ours = Signature(256, 4)
+    theirs = Signature(256, 4, family=make_hash_family(256, 4, seed=0xBEEF))
+    theirs.insert(0x1000)
+    ours.union(theirs)
+    assert ours.member(0x1000)          # conservative: everything is a member
+    assert ours.member(0xDEAD)
+    probe = Signature(256, 4)
+    probe.insert(0x9999)
+    assert ours.intersects(probe)       # non-empty vs foreign: intersects
+    ours.clear()                        # flash-clear resets foreignness
+    ours.insert(0x40)
+    assert ours.member(0x40)
+    assert not ours.member(0xDEAD)      # exact probes are back
+
+
+def test_cross_family_intersect_is_conservative_both_ways():
+    a = Signature(256, 4)
+    b = Signature(256, 4, family=make_hash_family(256, 4, seed=0xBEEF))
+    a.insert(0x40)
+    b.insert(0x5000)
+    assert a.intersects(b)
+    assert b.intersects(a)
+    empty = Signature(256, 4, family=make_hash_family(256, 4, seed=0xBEEF))
+    assert not a.intersects(empty)      # empty never intersects
+
+
+# -- machine sampling ---------------------------------------------------------
+
+
+@pytest.fixture
+def m():
+    return FlexTMMachine(small_test_params(4))
+
+
+def test_sample_machine_reads_signature_fill(m):
+    begin_hardware_transaction(m, 0)
+    base = m.allocate(4 * m.params.line_bytes, line_aligned=True)
+    m.tload(0, base)
+    m.tstore(0, base + m.params.line_bytes, 7)
+    samples = sample_machine(m)
+    assert len(samples) == len(m.processors)
+    busy = samples[0]
+    assert busy.proc == 0
+    assert busy.sig_fill > 0.0
+    assert busy.sig_fp > 0.0
+    assert busy.ot_occupancy == 0       # nothing spilled
+    idle = samples[1]
+    assert idle.sig_fill == 0.0
+    assert idle.sig_fp == 0.0
+
+
+def test_samples_are_observational(m):
+    begin_hardware_transaction(m, 0)
+    m.tstore(0, m.allocate(64, line_aligned=True), 1)
+    clocks = [proc.clock.now for proc in m.processors]
+    stats_before = m.stats.snapshot()
+    sample_machine(m)
+    assert [proc.clock.now for proc in m.processors] == clocks
+    assert m.stats.snapshot() == stats_before
+
+
+def test_record_samples_lands_in_histograms():
+    stats = StatsRegistry()
+    samples = [
+        PressureSample(proc=0, sig_fill=0.5, sig_fp=0.25, ot_occupancy=3,
+                       ot_failed_walks=1),
+        PressureSample(proc=1, sig_fill=0.0, sig_fp=0.0, ot_occupancy=0,
+                       ot_failed_walks=0),
+    ]
+    record_samples(stats, samples)
+    assert stats.histogram("resilience.sig_fill_pct").maximum == 50
+    assert stats.histogram("resilience.sig_fp_pct").maximum == 25
+    assert stats.histogram("resilience.ot_occupancy").maximum == 3
+    assert stats.histogram("resilience.sig_fill_pct").count == 2
+
+
+def test_hot_thresholds():
+    sample = PressureSample(proc=0, sig_fill=0.60, sig_fp=0.10,
+                            ot_occupancy=0, ot_failed_walks=0)
+    assert sample.hot(fill_threshold=0.55, fp_threshold=0.30)    # fill trips
+    assert sample.hot(fill_threshold=0.90, fp_threshold=0.05)    # fp trips
+    assert not sample.hot(fill_threshold=0.90, fp_threshold=0.30)

@@ -1,0 +1,51 @@
+"""simcheck — the repo-specific static-analysis engine.
+
+An AST-based lint pass that proves, at review time, the cross-cutting
+properties every dynamic layer of this reproduction stakes its
+correctness on:
+
+* **determinism** (``SIM-D0xx``) — no wall-clock, global ``random``,
+  ``os.urandom``, salted builtin ``hash()`` or ordered iteration over
+  ``set`` values inside ``src/repro``; everything routes through
+  ``repro.sim.rng`` / ``repro.sim.clock``;
+* **hook-site hygiene** (``SIM-H1xx``) — every ``tracer`` / ``chaos`` /
+  ``resilience`` use in core/coherence/runtime is guarded, so opt-in
+  layers can never become load-bearing;
+* **tracer-event registry** (``SIM-E2xx``) — every literal event name
+  reaching an emit site exists in ``repro.obs.events``, and no
+  registered kind is dead;
+* **protocol exhaustiveness** (``SIM-P3xx``) — the (LineState x
+  coherence-message) dispatch extracted from ``coherence/l1.py``,
+  ``coherence/directory.py`` and ``core/processor.py`` matches the
+  machine-readable Figure 1/3 spec in ``repro.coherence.spec``.
+
+Run it with ``python -m repro.harness analyze``; see docs/ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    AnalysisReport,
+    Finding,
+    ModuleUnit,
+    Rule,
+    all_rules,
+    iter_source_files,
+    run_analysis,
+)
+
+# Importing the rule modules registers every rule with the engine.
+from repro.analysis import rules_determinism  # noqa: F401
+from repro.analysis import rules_events  # noqa: F401
+from repro.analysis import rules_hooks  # noqa: F401
+from repro.analysis import rules_protocol  # noqa: F401
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "ModuleUnit",
+    "Rule",
+    "all_rules",
+    "iter_source_files",
+    "run_analysis",
+]

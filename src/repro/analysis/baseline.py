@@ -1,0 +1,69 @@
+"""Baseline (suppression) file handling for simcheck.
+
+The baseline is a committed JSON file at the repo root
+(``simcheck-baseline.json``) listing findings that are acknowledged but
+not yet fixed.  Each entry is keyed by the finding's location-
+insensitive fingerprint and carries enough human-readable context
+(rule, path, message) that reviewers can audit what is being waved
+through.  ``count`` allows several identical findings (same
+fingerprint) in one scope.
+
+The file is intentionally boring: plain JSON, sorted keys, trailing
+newline — so diffs are minimal and merge conflicts are rare.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.analysis.engine import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the analysis root.
+DEFAULT_BASELINE = "simcheck-baseline.json"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Fingerprint -> allowed count.  Missing file means empty baseline."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format (expected version "
+            f"{BASELINE_VERSION})"
+        )
+    suppressions = data.get("suppressions", {})
+    counts: Dict[str, int] = {}
+    for fingerprint, entry in suppressions.items():
+        if isinstance(entry, dict):
+            counts[fingerprint] = int(entry.get("count", 1))
+        else:
+            counts[fingerprint] = 1
+    return counts
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> Dict[str, int]:
+    """Serialize ``findings`` as the new baseline; returns the counts."""
+    suppressions: Dict[str, Dict[str, object]] = {}
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        entry = suppressions.setdefault(
+            fingerprint,
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "count": 0,
+            },
+        )
+        entry["count"] = int(entry["count"]) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "suppressions": {key: suppressions[key] for key in sorted(suppressions)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return {key: int(value["count"]) for key, value in suppressions.items()}

@@ -1,0 +1,344 @@
+"""The simcheck rule engine: findings, registry, module units, runner.
+
+Design notes
+------------
+Rules come in two granularities:
+
+* **module rules** see one :class:`ModuleUnit` at a time (a parsed
+  source file plus cheap indexes) and yield findings for it;
+* **program rules** run once over the whole file set — the event-
+  registry deadness check and the protocol-exhaustiveness diff need a
+  global view.
+
+Findings carry a *fingerprint* that is stable under unrelated edits
+(rule id + path + enclosing scope + message, but no line number), which
+is what the committed baseline file keys on: a suppressed finding stays
+suppressed when code above it moves, and disappears from the baseline
+the moment it is fixed (``--update-baseline`` prunes stale entries).
+
+Inline suppressions are also honoured: a ``# simcheck: ignore[RULE]``
+comment on the offending line (or the line above) silences that rule
+there, for the rare case where a violation is intentional and local.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*simcheck:\s*ignore\[([A-Za-z0-9_,\-\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str  # "error" | "warning"
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    context: str = ""  # enclosing class/function qualname
+
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used by the baseline file."""
+        text = "|".join((self.rule, self.path, self.context, self.message))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:20]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+            "fingerprint": self.fingerprint(),
+        }
+
+
+class ModuleUnit:
+    """A parsed source file plus the indexes rules keep re-deriving."""
+
+    def __init__(self, root: Path, path: Path, source: str):
+        self.root = root
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._suppressed: Dict[int, List[str]] = {}
+        self._standalone_comment: Dict[int, bool] = {}
+        for number, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                rules = [part.strip() for part in match.group(1).split(",")]
+                self._suppressed[number] = [part for part in rules if part]
+                self._standalone_comment[number] = text.lstrip().startswith("#")
+
+    # -- navigation ----------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted class/function scope containing ``node``."""
+        names: List[str] = []
+        current: Optional[ast.AST] = node
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.append(current.name)
+            current = self._parents.get(current)
+        return ".".join(reversed(names))
+
+    def functions(self) -> Iterator[ast.FunctionDef]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.FunctionDef):
+                yield node
+
+    # -- suppression ---------------------------------------------------------
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Trailing comments cover their own line; a standalone
+        ``# simcheck: ignore[...]`` comment line covers the next line."""
+        for probe in (line, line - 1):
+            if probe != line and not self._standalone_comment.get(probe, False):
+                continue
+            rules = self._suppressed.get(probe)
+            if rules and (rule in rules or "*" in rules):
+                return True
+        return False
+
+    # -- finding helper ------------------------------------------------------
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str, severity: Optional[str] = None
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule.name,
+            severity=severity or rule.severity,
+            path=self.relpath,
+            line=line,
+            col=col,
+            message=message,
+            context=self.qualname(node),
+        )
+
+
+class Rule:
+    """Base class; subclasses register via :func:`register`."""
+
+    #: Stable rule id, e.g. ``SIM-D001``.
+    name: str = ""
+    #: Default severity for findings ("error" gates the build).
+    severity: str = "error"
+    #: One-line description (surfaced in --list-rules and SARIF).
+    description: str = ""
+    #: "module" or "program".
+    scope: str = "module"
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        """Module rules may restrict themselves to a path subset."""
+        return True
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        """Module-scope entry point."""
+        return iter(())
+
+    def check_program(self, units: Sequence[ModuleUnit]) -> Iterator[Finding]:
+        """Program-scope entry point."""
+        return iter(())
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+RuleT = TypeVar("RuleT", bound=Rule)
+
+
+def register(rule_class: Type[RuleT]) -> Type[RuleT]:
+    """Class decorator adding a rule instance to the global registry."""
+    instance = rule_class()
+    if not instance.name:
+        raise ValueError(f"rule {rule_class!r} has no name")
+    if instance.name in _REGISTRY:
+        raise ValueError(f"duplicate rule id {instance.name}")
+    _REGISTRY[instance.name] = instance
+    return rule_class
+
+
+def all_rules() -> Dict[str, Rule]:
+    """Registered rules by id (importing repro.analysis populates this)."""
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------------- #
+# Shared AST helpers used by several rule modules.
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def literal_str(node: ast.AST) -> Optional[str]:
+    """The value of a string constant, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def literal_str_values(node: ast.AST) -> Optional[List[str]]:
+    """All values a literal-ish string expression can take.
+
+    Resolves constants and conditional expressions whose arms are
+    literal-ish (``"read" if cond else "write"``).  Returns ``None``
+    when any arm is unresolvable.
+    """
+    value = literal_str(node)
+    if value is not None:
+        return [value]
+    if isinstance(node, ast.IfExp):
+        body = literal_str_values(node.body)
+        orelse = literal_str_values(node.orelse)
+        if body is not None and orelse is not None:
+            return body + orelse
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Running the analysis.
+
+#: Paths (relative, posix) never analyzed: generated or non-source.
+_EXCLUDED_PARTS = {"__pycache__"}
+
+
+def iter_source_files(root: Path, targets: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for target in targets:
+        path = target if target.is_absolute() else root / target
+        if path.is_dir():
+            out.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _EXCLUDED_PARTS.intersection(candidate.parts)
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    # De-duplicate while preserving the sorted order.
+    seen = set()
+    unique: List[Path] = []
+    for path in out:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by the committed baseline.
+    baselined: List[Finding] = field(default_factory=list)
+    #: Findings silenced by inline ``simcheck: ignore`` comments.
+    inline_suppressed: List[Finding] = field(default_factory=list)
+    #: Baseline fingerprints that matched nothing (stale suppressions).
+    stale_baseline: List[str] = field(default_factory=list)
+    files_analyzed: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [finding for finding in self.findings if finding.severity == "warning"]
+
+    def exit_code(self, strict: bool = False) -> int:
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+
+def run_analysis(
+    root: Path,
+    targets: Sequence[Path],
+    rules: Optional[Iterable[Rule]] = None,
+    baseline_fingerprints: Optional[Dict[str, int]] = None,
+) -> AnalysisReport:
+    """Parse ``targets`` under ``root`` and run every rule.
+
+    ``baseline_fingerprints`` maps fingerprint -> allowed count; up to
+    that many matching findings are moved to ``report.baselined``.
+    """
+    selected = list(rules) if rules is not None else list(_REGISTRY.values())
+    units: List[ModuleUnit] = []
+    report = AnalysisReport()
+    for path in iter_source_files(root, targets):
+        source = path.read_text(encoding="utf-8")
+        units.append(ModuleUnit(root, path, source))
+    report.files_analyzed = len(units)
+
+    raw: List[Tuple[Optional[ModuleUnit], Finding]] = []
+    by_path = {unit.relpath: unit for unit in units}
+    for rule in selected:
+        if rule.scope == "module":
+            for unit in units:
+                if rule.applies_to(unit):
+                    for finding in rule.check(unit):
+                        raw.append((unit, finding))
+        else:
+            for finding in rule.check_program(units):
+                raw.append((by_path.get(finding.path), finding))
+
+    raw.sort(key=lambda pair: (pair[1].path, pair[1].line, pair[1].col, pair[1].rule))
+
+    remaining = dict(baseline_fingerprints or {})
+    for unit, finding in raw:
+        if unit is not None and unit.is_suppressed(finding.rule, finding.line):
+            report.inline_suppressed.append(finding)
+            continue
+        fingerprint = finding.fingerprint()
+        if remaining.get(fingerprint, 0) > 0:
+            remaining[fingerprint] -= 1
+            report.baselined.append(finding)
+            continue
+        report.findings.append(finding)
+    report.stale_baseline = sorted(
+        fingerprint for fingerprint, count in remaining.items() if count > 0
+    )
+    return report

@@ -1,0 +1,124 @@
+"""Renderers for simcheck reports: text, JSON, and SARIF 2.1.0.
+
+SARIF output carries the full rule catalog in the tool descriptor so
+code-scanning UIs can show rule help without a side channel; findings
+map 1:1 to ``results`` with physical locations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.engine import AnalysisReport, Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """Human-oriented summary, one line per finding."""
+    lines: List[str] = []
+    for finding in report.findings:
+        location = f"{finding.path}:{finding.line}:{finding.col + 1}"
+        scope = f" [{finding.context}]" if finding.context else ""
+        lines.append(
+            f"{location}: {finding.severity}: {finding.rule}: "
+            f"{finding.message}{scope}"
+        )
+    if verbose:
+        for finding in report.baselined:
+            lines.append(
+                f"{finding.path}:{finding.line}: baselined: {finding.rule}: "
+                f"{finding.message}"
+            )
+        for finding in report.inline_suppressed:
+            lines.append(
+                f"{finding.path}:{finding.line}: suppressed: {finding.rule}: "
+                f"{finding.message}"
+            )
+    for fingerprint in report.stale_baseline:
+        lines.append(
+            f"simcheck-baseline.json: stale suppression {fingerprint} matched "
+            "nothing — run --update-baseline to prune it"
+        )
+    summary = (
+        f"simcheck: {len(report.errors)} error(s), {len(report.warnings)} "
+        f"warning(s), {len(report.baselined)} baselined, "
+        f"{len(report.inline_suppressed)} inline-suppressed across "
+        f"{report.files_analyzed} file(s)"
+    )
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-oriented JSON (stable key order)."""
+    payload: Dict[str, object] = {
+        "findings": [finding.to_dict() for finding in report.findings],
+        "baselined": [finding.to_dict() for finding in report.baselined],
+        "inline_suppressed": [
+            finding.to_dict() for finding in report.inline_suppressed
+        ],
+        "stale_baseline": report.stale_baseline,
+        "files_analyzed": report.files_analyzed,
+        "summary": {
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(finding: Finding) -> Dict[str, object]:
+    return {
+        "ruleId": finding.rule,
+        "level": "error" if finding.severity == "error" else "warning",
+        "message": {"text": finding.message},
+        "partialFingerprints": {"simcheck/v1": finding.fingerprint()},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render_sarif(report: AnalysisReport, rules: List[Rule]) -> str:
+    """SARIF 2.1.0 log with the rule catalog embedded."""
+    descriptors = [
+        {
+            "id": rule.name,
+            "shortDescription": {"text": rule.description or rule.name},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity == "error" else "warning"
+            },
+        }
+        for rule in sorted(rules, key=lambda rule: rule.name)
+    ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simcheck",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": descriptors,
+                    }
+                },
+                "results": [_sarif_result(finding) for finding in report.findings],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True) + "\n"

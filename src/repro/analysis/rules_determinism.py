@@ -1,0 +1,306 @@
+"""SIM-D0xx — determinism rules.
+
+Bit-identical replay is the repo's foundational contract (the parallel
+executor, the chaos matrix, and the benchmark gate all diff runs
+byte-for-byte), so nothing inside ``src/repro`` may observe wall-clock
+time, draw from process-global randomness, or iterate a ``set`` in hash
+order.  Simulated time comes from ``repro.sim.clock`` and every random
+draw flows through ``repro.sim.rng`` — those two modules are the
+sanctioned implementations and are exempt below.
+
+``time.perf_counter`` is deliberately *not* forbidden: the harness uses
+it to report wall-time of measurement runs, which is observational (it
+never feeds back into simulated behaviour).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.engine import Finding, ModuleUnit, Rule, dotted_name, register
+
+#: Modules allowed to touch the forbidden primitives: they *are* the
+#: deterministic time/randomness providers everything else routes
+#: through.
+SANCTIONED = ("repro/sim/rng.py", "repro/sim/clock.py")
+
+
+def _is_sanctioned(unit: ModuleUnit) -> bool:
+    return unit.relpath.endswith(SANCTIONED)
+
+
+class _DeterminismRule(Rule):
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return not _is_sanctioned(unit)
+
+
+#: Dotted call targets that read wall-clock time.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "date.today",
+}
+
+#: Names whose ``from``-import alone is a violation.
+_WALL_CLOCK_IMPORTS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+}
+
+
+@register
+class WallClockRule(_DeterminismRule):
+    """Forbid wall-clock reads; simulated time comes from sim.clock."""
+
+    name = "SIM-D001"
+    severity = "error"
+    description = (
+        "wall-clock read (time.time / datetime.now / ...) inside src/repro; "
+        "use repro.sim.clock simulated time instead"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target in _WALL_CLOCK_CALLS:
+                    yield unit.finding(
+                        self, node, f"wall-clock call {target}() breaks deterministic replay"
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if (node.module, alias.name) in _WALL_CLOCK_IMPORTS:
+                        yield unit.finding(
+                            self,
+                            node,
+                            f"from {node.module} import {alias.name} imports a "
+                            "wall-clock primitive",
+                        )
+
+
+@register
+class GlobalRandomRule(_DeterminismRule):
+    """Forbid the process-global ``random`` module outside sim.rng."""
+
+    name = "SIM-D002"
+    severity = "error"
+    description = (
+        "use of the random module outside repro.sim.rng; route draws "
+        "through a seeded DeterministicRng stream"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                module = getattr(node, "module", None)
+                names = [alias.name for alias in node.names]
+                if isinstance(node, ast.Import) and "random" in names:
+                    yield unit.finding(
+                        self, node, "import random outside repro.sim.rng"
+                    )
+                elif isinstance(node, ast.ImportFrom) and module == "random":
+                    yield unit.finding(
+                        self, node, "from random import ... outside repro.sim.rng"
+                    )
+            elif isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target is not None and target.startswith("random."):
+                    yield unit.finding(
+                        self,
+                        node,
+                        f"{target}() draws from process-global random state",
+                    )
+
+
+@register
+class OsEntropyRule(_DeterminismRule):
+    """Forbid OS entropy sources (urandom, uuid4, secrets)."""
+
+    name = "SIM-D003"
+    severity = "error"
+    description = "OS entropy source (os.urandom / uuid.uuid4 / secrets.*)"
+
+    _TARGETS = {"os.urandom", "uuid.uuid4", "uuid.uuid1"}
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                if target in self._TARGETS or (
+                    target is not None and target.startswith("secrets.")
+                ):
+                    yield unit.finding(
+                        self, node, f"{target}() is a nondeterministic entropy source"
+                    )
+            elif isinstance(node, ast.Import):
+                if any(alias.name == "secrets" for alias in node.names):
+                    yield unit.finding(self, node, "import secrets outside repro.sim.rng")
+
+
+@register
+class BuiltinHashRule(_DeterminismRule):
+    """Forbid builtin ``hash()``: str/bytes hashing is per-process salted."""
+
+    name = "SIM-D004"
+    severity = "error"
+    description = (
+        "builtin hash() call; str/bytes hashes are PYTHONHASHSEED-salted "
+        "and differ across worker processes — use zlib.crc32 or "
+        "hashlib on encoded bytes"
+    )
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for node in ast.walk(unit.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+            ):
+                yield unit.finding(
+                    self,
+                    node,
+                    "builtin hash() is salted for str/bytes inputs; results "
+                    "are not reproducible across processes",
+                )
+
+
+class _SetBindings(ast.NodeVisitor):
+    """Collect names/attributes bound to set values in a module.
+
+    Tracks plain names (``seeded = set()``), ``self.x`` attributes
+    assigned in methods, and ``set``-typed annotations.  Deliberately
+    simple: no interprocedural flow, which is plenty for this codebase
+    and errs toward missing exotic cases rather than false positives.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    @staticmethod
+    def _is_set_expr(node: Optional[ast.AST]) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.SetComp):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        ):
+            return True
+        return False
+
+    _SET_TYPE_NAMES = ("set", "Set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet")
+
+    @staticmethod
+    def _is_set_annotation(node: Optional[ast.AST]) -> bool:
+        """True for a *top-level* set annotation (``Set[str]``, ``set``).
+
+        Only the outermost type constructor counts: ``List[FrozenSet[str]]``
+        is a list, not a set.
+        """
+        if node is None:
+            return False
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotation: "set[str]" etc.
+            head = node.value.split("[", 1)[0].strip()
+            return head.rsplit(".", 1)[-1] in _SetBindings._SET_TYPE_NAMES
+        name = dotted_name(node)
+        if name is None:
+            return False
+        return name.rsplit(".", 1)[-1] in _SetBindings._SET_TYPE_NAMES
+
+    def _record_target(self, target: ast.AST) -> None:
+        name = dotted_name(target)
+        if name is not None:
+            self.set_names.add(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                self._record_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._is_set_expr(node.value) or self._is_set_annotation(node.annotation):
+            self._record_target(node.target)
+        self.generic_visit(node)
+
+
+@register
+class SetIterationRule(_DeterminismRule):
+    """Forbid ordered iteration over set values.
+
+    Set iteration order follows hash order, which for str elements
+    varies per process.  Iterating through ``sorted(...)`` (or any
+    other explicit ordering) is the sanctioned form; membership tests,
+    ``len``, and set algebra are of course fine.
+    """
+
+    name = "SIM-D005"
+    severity = "error"
+    description = (
+        "iteration over a set value; wrap in sorted(...) so the order "
+        "is deterministic across processes"
+    )
+
+    #: Builtins that materialize iteration order from their argument.
+    _ORDER_SINKS = {"list", "tuple", "enumerate"}
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        bindings = _SetBindings()
+        bindings.visit(unit.tree)
+
+        def is_set_valued(node: ast.AST) -> bool:
+            if _SetBindings._is_set_expr(node):
+                return True
+            name = dotted_name(node)
+            return name is not None and name in bindings.set_names
+
+        for node in ast.walk(unit.tree):
+            iter_exprs: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_exprs.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iter_exprs.extend(generator.iter for generator in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in self._ORDER_SINKS
+                and node.args
+            ):
+                iter_exprs.append(node.args[0])
+            for expr in iter_exprs:
+                if is_set_valued(expr):
+                    described = dotted_name(expr) or "a set expression"
+                    yield unit.finding(
+                        self,
+                        node,
+                        f"iteration over set value {described} is hash-ordered; "
+                        "wrap in sorted(...)",
+                    )
+
+
+#: Bindings collector is re-exported for tests.
+__all__ = [
+    "WallClockRule",
+    "GlobalRandomRule",
+    "OsEntropyRule",
+    "BuiltinHashRule",
+    "SetIterationRule",
+    "SANCTIONED",
+]

@@ -1,0 +1,822 @@
+"""SIM-P3xx — TMESI protocol exhaustiveness rules.
+
+These rules extract the actual (state x coherence-message) dispatch
+from the controllers and diff it against the machine-readable Figure
+1/3 spec in :mod:`repro.coherence.spec`:
+
+* ``SIM-P301`` — local access dispatch (``L1Controller._try_hit`` /
+  ``_upgrade`` / ``_miss``) covers every (AccessKind x LineState) pair
+  with exactly the outcome the spec mandates; unhandled pairs and
+  pairs that raise where the spec expects handling are reported, as
+  are dead transitions (code handling a pair the spec marks illegal).
+* ``SIM-P302`` — responder-side next state (``handle_forwarded``)
+  matches the spec for every (RequestType x LineState) pair.
+* ``SIM-P303`` — the signature response table and responder-side CST
+  updates (``FlexTMProcessor.classify_remote``) match Figure 1.
+* ``SIM-P304`` — requester-side CST updates
+  (``note_request_conflicts``) mirror the responder's (the CST
+  dual-update pairing of Section 3.4).
+* ``SIM-P305`` — directory grants (``_grant_and_record``) match the
+  spec's grant rules.
+* ``SIM-P306`` — the flash commit/abort transforms
+  (``LineState.after_commit`` / ``after_abort``) match Figure 3.
+
+Extraction works by *concrete enumeration*: the protocol domains are
+tiny (at most 24 pairs), so each function is abstractly executed once
+per concrete pair, with unrecognized conditions explored both ways.
+That keeps the analysis exact on the conditions that matter
+(``state is LineState.M``, ``kind in (...)``, ``state.readable`` — the
+last expanded through the spec's predicate tables, so a predicate edit
+shows up as a protocol diff too).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.analysis.engine import Finding, ModuleUnit, Rule, dotted_name, register
+from repro.coherence import spec
+
+# --------------------------------------------------------------------------- #
+# Enum vocabulary shared by every extractor.
+
+ENUM_MEMBERS: Dict[str, Dict[str, str]] = {
+    "AccessKind": {"LOAD": "Load", "STORE": "Store", "TLOAD": "TLoad", "TSTORE": "TStore"},
+    "LineState": {name: name for name in spec.STATES},
+    "RequestType": {name: name for name in spec.REQUESTS},
+    "ResponseKind": {
+        "SHARED": "Shared",
+        "INVALIDATED": "Invalidated",
+        "THREATENED": "Threatened",
+        "EXPOSED_READ": "Exposed-Read",
+    },
+}
+
+
+def _enum_value(node: ast.expr) -> Optional[str]:
+    """``AccessKind.TSTORE`` -> ``"TStore"`` (None for non-enum refs)."""
+    name = dotted_name(node)
+    if name is None or "." not in name:
+        return None
+    enum_name, _, member = name.rpartition(".")
+    members = ENUM_MEMBERS.get(enum_name.rsplit(".", 1)[-1])
+    if members is None:
+        return None
+    return members.get(member)
+
+
+Env = Dict[str, object]
+PathEnd = Tuple[str, Optional[str], Env, FrozenSet[str]]
+
+
+class _Simulator:
+    """Abstract executor for one protocol function and one concrete env.
+
+    Conditions evaluate through ``atom_eval`` (three-valued: True /
+    False / None=unknown, unknown explores both arms).  ``on_return``
+    labels each return path; ``effect_of`` collects side-effect tags
+    from expression statements; ``call_assigns`` maps call targets to
+    env mutations (``self._drop_line`` invalidating the modeled line).
+    """
+
+    def __init__(
+        self,
+        atom_eval: Callable[[ast.expr, Env], Optional[bool]],
+        on_return: Callable[[Optional[ast.expr], Env], Optional[str]],
+        effect_of: Optional[Callable[[ast.expr, Env], FrozenSet[str]]] = None,
+        call_assigns: Optional[Mapping[str, Tuple[str, object]]] = None,
+        state_assign_targets: Optional[Mapping[str, str]] = None,
+        preserve_vars: FrozenSet[str] = frozenset(),
+    ):
+        self._atom_eval = atom_eval
+        self._on_return = on_return
+        self._effect_of = effect_of or (lambda node, env: frozenset())
+        self._call_assigns = dict(call_assigns or {})
+        self._state_assign_targets = dict(state_assign_targets or {})
+        self._preserve = preserve_vars
+
+    # -- public entry --------------------------------------------------------
+
+    def run(self, body: Sequence[ast.stmt], env: Env) -> List[PathEnd]:
+        """Every path end for ``body`` starting from ``env``."""
+        out: List[PathEnd] = []
+        for fall_env, fall_effects in self._exec_block(list(body), dict(env), frozenset(), out):
+            out.append(("fall", None, fall_env, fall_effects))
+        return out
+
+    # -- statement execution -------------------------------------------------
+
+    def _exec_block(
+        self,
+        stmts: List[ast.stmt],
+        env: Env,
+        effects: FrozenSet[str],
+        out: List[PathEnd],
+    ) -> List[Tuple[Env, FrozenSet[str]]]:
+        states: List[Tuple[Env, FrozenSet[str]]] = [(env, effects)]
+        for stmt in stmts:
+            advanced: List[Tuple[Env, FrozenSet[str]]] = []
+            for env_i, effects_i in states:
+                advanced.extend(self._exec_stmt(stmt, env_i, effects_i, out))
+            states = advanced
+            if not states:
+                break
+        return states
+
+    def _exec_stmt(
+        self, stmt: ast.stmt, env: Env, effects: FrozenSet[str], out: List[PathEnd]
+    ) -> List[Tuple[Env, FrozenSet[str]]]:
+        if isinstance(stmt, ast.Return):
+            out.append(("return", self._on_return(stmt.value, env), dict(env), effects))
+            return []
+        if isinstance(stmt, ast.Raise):
+            out.append(("raise", None, dict(env), effects))
+            return []
+        if isinstance(stmt, ast.If):
+            verdict = self._eval(stmt.test, env)
+            results: List[Tuple[Env, FrozenSet[str]]] = []
+            if verdict is not False:
+                results.extend(self._exec_block(list(stmt.body), dict(env), effects, out))
+            if verdict is not True:
+                results.extend(self._exec_block(list(stmt.orelse), dict(env), effects, out))
+            return results
+        if isinstance(stmt, (ast.For, ast.While)):
+            # Zero iterations, plus one symbolic pass through the body
+            # (enough to observe every per-iteration effect).
+            body = list(stmt.body)
+            results = self._exec_block(body, dict(env), effects, out)
+            results.append((dict(env), effects))
+            return results
+        if isinstance(stmt, ast.Expr):
+            env, effects = self._apply_call_effects(stmt.value, env, effects)
+            return [(env, effects)]
+        if isinstance(stmt, ast.Assign):
+            return [self._apply_assign(stmt, env, effects)]
+        return [(env, effects)]
+
+    def _apply_call_effects(
+        self, value: ast.expr, env: Env, effects: FrozenSet[str]
+    ) -> Tuple[Env, FrozenSet[str]]:
+        if isinstance(value, ast.Call):
+            target = dotted_name(value.func)
+            if target is not None:
+                final = target.rsplit(".", 1)[-1]
+                for pattern, (key, new) in self._call_assigns.items():
+                    if final == pattern or target == pattern:
+                        env = dict(env)
+                        env[key] = new
+            effects = effects | self._effect_of(value, env)
+        return env, effects
+
+    def _apply_assign(
+        self, stmt: ast.Assign, env: Env, effects: FrozenSet[str]
+    ) -> Tuple[Env, FrozenSet[str]]:
+        for target in stmt.targets:
+            name = dotted_name(target)
+            if name is None:
+                continue
+            if name in self._state_assign_targets:
+                value = _enum_value(stmt.value)
+                if value is not None:
+                    env = dict(env)
+                    env[self._state_assign_targets[name]] = value
+            elif name in self._preserve:
+                continue  # keep the seeded model value
+        return env, effects
+
+    # -- condition evaluation ------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: Env) -> Optional[bool]:
+        if isinstance(node, ast.BoolOp):
+            verdicts = [self._eval(value, env) for value in node.values]
+            if isinstance(node.op, ast.And):
+                if any(verdict is False for verdict in verdicts):
+                    return False
+                if all(verdict is True for verdict in verdicts):
+                    return True
+                return None
+            if any(verdict is True for verdict in verdicts):
+                return True
+            if all(verdict is False for verdict in verdicts):
+                return False
+            return None
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+            verdict = self._eval(node.operand, env)
+            return None if verdict is None else not verdict
+        return self._atom_eval(node, env)
+
+
+# --------------------------------------------------------------------------- #
+# Atom evaluators.
+
+
+def make_atom_eval(
+    var_map: Mapping[str, str],
+    predicate_maps: Mapping[str, Mapping[str, FrozenSet[str]]],
+    bool_vars: Mapping[str, str] = {},
+    call_atom: Optional[Callable[[ast.Call, Env], Optional[bool]]] = None,
+    none_vars: Mapping[str, Tuple[str, str]] = {},
+) -> Callable[[ast.expr, Env], Optional[bool]]:
+    """Build an atom evaluator.
+
+    ``var_map``: dotted source text -> env key holding an enum value.
+    ``predicate_maps``: env key -> (property name -> satisfying set).
+    ``bool_vars``: dotted source text -> env key holding a bool.
+    ``call_atom``: hook for call-shaped atoms (signature membership).
+    ``none_vars``: dotted text -> (env key, sentinel) for ``X is None``
+    tests: the test is True exactly when env[key] == sentinel (used to
+    model "line is None" as state I).
+    """
+
+    def atom_eval(node: ast.expr, env: Env) -> Optional[bool]:
+        if isinstance(node, ast.Call) and call_atom is not None:
+            return call_atom(node, env)
+        if isinstance(node, ast.Compare) and len(node.ops) == 1:
+            left, op, right = node.left, node.ops[0], node.comparators[0]
+            left_name = dotted_name(left)
+            # X is None / X is not None with a modeled sentinel.
+            if (
+                isinstance(right, ast.Constant)
+                and right.value is None
+                and left_name in none_vars
+                and isinstance(op, (ast.Is, ast.IsNot))
+            ):
+                key, sentinel = none_vars[left_name]
+                is_none = env[key] == sentinel
+                return is_none if isinstance(op, ast.Is) else not is_none
+            if left_name in var_map:
+                key = var_map[left_name]
+                current = env[key]
+                if isinstance(op, (ast.Is, ast.Eq, ast.IsNot, ast.NotEq)):
+                    expected = _enum_value(right)
+                    if expected is None:
+                        return None
+                    same = current == expected
+                    return same if isinstance(op, (ast.Is, ast.Eq)) else not same
+                if isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+                    right, (ast.Tuple, ast.List, ast.Set)
+                ):
+                    values = [_enum_value(element) for element in right.elts]
+                    if any(value is None for value in values):
+                        return None
+                    member = current in values
+                    return member if isinstance(op, ast.In) else not member
+            return None
+        name = dotted_name(node)
+        if name is not None:
+            if name in bool_vars:
+                value = env[bool_vars[name]]
+                return value if isinstance(value, bool) else None
+            if "." in name:
+                base, _, attribute = name.rpartition(".")
+                if base in var_map:
+                    key = var_map[base]
+                    predicates = predicate_maps.get(key, {})
+                    satisfying = predicates.get(attribute)
+                    if satisfying is not None:
+                        return env[key] in satisfying
+        return None
+
+    return atom_eval
+
+
+def _cst_effects(node: ast.expr, env: Env) -> FrozenSet[str]:
+    """Tag ``self.csts.<table>.set(...)`` calls."""
+    if isinstance(node, ast.Call):
+        target = dotted_name(node.func)
+        if target is not None:
+            parts = target.split(".")
+            if len(parts) >= 3 and parts[-1] == "set" and parts[-3] == "csts":
+                return frozenset({f"cst:{parts[-2]}"})
+    return frozenset()
+
+
+# --------------------------------------------------------------------------- #
+# AST lookup helpers.
+
+
+def find_function(
+    unit: ModuleUnit, class_name: Optional[str], function_name: str
+) -> Optional[ast.FunctionDef]:
+    scope: ast.AST = unit.tree
+    if class_name is not None:
+        scope = next(
+            (
+                node
+                for node in ast.walk(unit.tree)
+                if isinstance(node, ast.ClassDef) and node.name == class_name
+            ),
+            unit.tree,
+        )
+    for node in ast.walk(scope):
+        if isinstance(node, ast.FunctionDef) and node.name == function_name:
+            return node
+    return None
+
+
+def _missing(unit: ModuleUnit, rule: Rule, what: str) -> Finding:
+    return Finding(
+        rule=rule.name,
+        severity="error",
+        path=unit.relpath,
+        line=1,
+        col=0,
+        message=f"protocol extraction failed: {what} not found — the "
+        "spec cross-check cannot run",
+        context="",
+    )
+
+
+class _FileRule(Rule):
+    """A module rule bound to one specific source file."""
+
+    target_file = ""
+
+    def applies_to(self, unit: ModuleUnit) -> bool:
+        return unit.relpath.endswith(self.target_file)
+
+
+# --------------------------------------------------------------------------- #
+# SIM-P301: local dispatch exhaustiveness.
+
+_STATE_PREDICATES = {
+    key: frozenset(value) for key, value in spec.STATE_PREDICATES.items()
+}
+_ACCESS_PREDICATES = {
+    key: frozenset(value) for key, value in spec.ACCESS_PREDICATES.items()
+}
+_REQUEST_PREDICATES = {
+    key: frozenset(value) for key, value in spec.REQUEST_PREDICATES.items()
+}
+
+
+@register
+class LocalDispatchRule(_FileRule):
+    """Diff L1 local access handling against spec.LOCAL_DISPATCH."""
+
+    name = "SIM-P301"
+    severity = "error"
+    description = (
+        "L1 local dispatch (_try_hit/_upgrade/_miss) must handle every "
+        "(access x state) pair exactly as spec.LOCAL_DISPATCH mandates"
+    )
+    target_file = "repro/coherence/l1.py"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        try_hit = find_function(unit, "L1Controller", "_try_hit")
+        upgrade = find_function(unit, "L1Controller", "_upgrade")
+        miss = find_function(unit, "L1Controller", "_miss")
+        for function, label in ((try_hit, "_try_hit"), (upgrade, "_upgrade"), (miss, "_miss")):
+            if function is None:
+                yield _missing(unit, self, f"L1Controller.{label}")
+                return
+        assert try_hit is not None and upgrade is not None and miss is not None
+
+        atom_eval = make_atom_eval(
+            var_map={"kind": "kind", "state": "state", "line.state": "state"},
+            predicate_maps={"kind": _ACCESS_PREDICATES, "state": _STATE_PREDICATES},
+        )
+
+        def classify_return(value: Optional[ast.expr], env: Env) -> Optional[str]:
+            if value is None or (isinstance(value, ast.Constant) and value.value is None):
+                return "fallthrough"
+            if isinstance(value, ast.Call):
+                target = dotted_name(value.func) or ""
+                if target.endswith("_request") or target.endswith("_miss"):
+                    return "request"
+            return "local"
+
+        simulator = _Simulator(atom_eval, classify_return)
+
+        outcomes: Dict[Tuple[str, str], Set[str]] = {}
+        for access in spec.ACCESSES:
+            for state in spec.STATES:
+                if state == "I":
+                    continue
+                observed: Set[str] = set()
+                env: Env = {"kind": access, "state": state}
+                upgrade_feeds: bool = False
+                for status, label, _env, _effects in simulator.run(try_hit.body, env):
+                    if status == "return" and label not in (None, "fallthrough"):
+                        observed.add(label)
+                    elif status == "raise":
+                        observed.add("error")
+                    else:  # fall or explicit `return None`
+                        upgrade_feeds = True
+                if upgrade_feeds:
+                    for status, label, _env, _effects in simulator.run(upgrade.body, env):
+                        if status == "return" and label not in (None, "fallthrough"):
+                            observed.add(label)
+                        elif status == "raise":
+                            observed.add("error")
+                        else:
+                            observed.add("unhandled")
+                outcomes[(access, state)] = observed
+
+        # The miss path covers state I through the request-type table.
+        miss_map = self._miss_request_map(miss)
+        for access in spec.ACCESSES:
+            if miss_map is None:
+                outcomes[(access, "I")] = {"unextracted"}
+            elif access in miss_map:
+                outcomes[(access, "I")] = {"request"}
+            else:
+                outcomes[(access, "I")] = {"unhandled"}
+
+        for access in spec.ACCESSES:
+            for state in spec.STATES:
+                expected = spec.LOCAL_DISPATCH[(access, state)]
+                observed = outcomes[(access, state)]
+                if observed == {expected}:
+                    continue
+                if "unhandled" in observed or not observed:
+                    yield unit.finding(
+                        self,
+                        try_hit,
+                        f"unhandled (state, access) pair: ({state}, {access}) "
+                        f"can fall through the dispatch; spec expects "
+                        f"'{expected}'",
+                    )
+                elif expected == "error" and observed != {"error"}:
+                    yield unit.finding(
+                        self,
+                        try_hit,
+                        f"dead transition: code handles ({state}, {access}) "
+                        f"as {sorted(observed)} but the spec marks it illegal",
+                    )
+                else:
+                    yield unit.finding(
+                        self,
+                        try_hit,
+                        f"dispatch mismatch for ({state}, {access}): code "
+                        f"yields {sorted(observed)}, spec expects '{expected}'",
+                    )
+
+        if miss_map is not None:
+            for access, request in sorted(miss_map.items()):
+                expected_request = spec.MISS_REQUESTS.get(access)
+                if request != expected_request:
+                    yield unit.finding(
+                        self,
+                        miss,
+                        f"miss for {access} issues {request}; spec expects "
+                        f"{expected_request}",
+                    )
+
+    @staticmethod
+    def _miss_request_map(miss: ast.FunctionDef) -> Optional[Dict[str, str]]:
+        """Extract the AccessKind -> RequestType dict literal in _miss."""
+        for node in ast.walk(miss):
+            if isinstance(node, ast.Dict):
+                mapping: Dict[str, str] = {}
+                for key, value in zip(node.keys, node.values):
+                    if key is None:
+                        return None
+                    access = _enum_value(key)
+                    request = _enum_value(value)
+                    if access is None or request is None:
+                        return None
+                    mapping[access] = request
+                return mapping
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# SIM-P302: responder-side next state.
+
+
+@register
+class RemoteNextStateRule(_FileRule):
+    """Diff handle_forwarded's state transitions against the spec."""
+
+    name = "SIM-P302"
+    severity = "error"
+    description = (
+        "responder-side next state in handle_forwarded must match "
+        "spec.REMOTE_NEXT_STATE for every (request x state) pair"
+    )
+    target_file = "repro/coherence/l1.py"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        function = find_function(unit, "L1Controller", "handle_forwarded")
+        if function is None:
+            yield _missing(unit, self, "L1Controller.handle_forwarded")
+            return
+
+        atom_eval = make_atom_eval(
+            var_map={"req_type": "req", "line.state": "state", "state": "state"},
+            predicate_maps={"req": _REQUEST_PREDICATES, "state": _STATE_PREDICATES},
+            none_vars={"line": ("state", "I")},
+        )
+
+        def classify_return(value: Optional[ast.expr], env: Env) -> Optional[str]:
+            return str(env["state"])
+
+        simulator = _Simulator(
+            atom_eval,
+            classify_return,
+            call_assigns={"_drop_line": ("state", "I")},
+            state_assign_targets={"line.state": "state"},
+        )
+
+        for request in spec.REQUESTS:
+            for state in spec.STATES:
+                env: Env = {"req": request, "state": state}
+                finals: Set[str] = set()
+                raised = False
+                for status, label, end_env, _effects in simulator.run(function.body, env):
+                    if status == "raise":
+                        raised = True
+                    elif status == "return" and label is not None:
+                        finals.add(label)
+                    else:
+                        finals.add(str(end_env["state"]))
+                expected = spec.REMOTE_NEXT_STATE[(request, state)]
+                if raised:
+                    yield unit.finding(
+                        self,
+                        function,
+                        f"handle_forwarded can raise for ({request}, {state}); "
+                        "the spec defines a transition for every pair",
+                    )
+                if finals != {expected}:
+                    yield unit.finding(
+                        self,
+                        function,
+                        f"responder next-state mismatch for ({request}, "
+                        f"{state}): code reaches {sorted(finals)}, spec "
+                        f"expects {expected}",
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# SIM-P303 / SIM-P304: signature responses and CST dual updates.
+
+
+def _sig_member_atom(node: ast.Call, env: Env) -> Optional[bool]:
+    """Model ``self._sig_member("wsig"|"rsig", ...)`` against env["sig"]."""
+    target = dotted_name(node.func) or ""
+    if not target.endswith("_sig_member"):
+        return None
+    if not node.args or not isinstance(node.args[0], ast.Constant):
+        return None
+    which = node.args[0].value
+    if which == "wsig":
+        return env["sig"] == "wsig"
+    if which == "rsig":
+        # Reached only after the wsig test failed, so an rsig probe is
+        # true exactly for the rsig-only category.
+        return env["sig"] == "rsig_only"
+    return None
+
+
+@register
+class ResponderClassificationRule(_FileRule):
+    """classify_remote vs spec.RESPONSE_TABLE + spec.RESPONDER_CST."""
+
+    name = "SIM-P303"
+    severity = "error"
+    description = (
+        "responder signature classification must match Figure 1's "
+        "response table and set exactly the CSTs the spec names"
+    )
+    target_file = "repro/core/processor.py"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        function = find_function(unit, "FlexTMProcessor", "classify_remote")
+        if function is None:
+            yield _missing(unit, self, "FlexTMProcessor.classify_remote")
+            return
+
+        atom_eval = make_atom_eval(
+            var_map={"req_type": "req"},
+            predicate_maps={"req": _REQUEST_PREDICATES},
+            call_atom=_sig_member_atom,
+        )
+
+        def classify_return(value: Optional[ast.expr], env: Env) -> Optional[str]:
+            if value is None or (isinstance(value, ast.Constant) and value.value is None):
+                return "none"
+            resolved = _enum_value(value)
+            return resolved if resolved is not None else "unknown"
+
+        simulator = _Simulator(atom_eval, classify_return, effect_of=_cst_effects)
+
+        for request in spec.REQUESTS:
+            for category in spec.SIGNATURE_CATEGORIES:
+                env: Env = {"req": request, "sig": category}
+                ends = simulator.run(function.body, env)
+                responses = {label for status, label, _e, _f in ends if status == "return"}
+                effects: Set[str] = set()
+                for status, _label, _e, path_effects in ends:
+                    effects |= set(path_effects)
+                expected_response = spec.RESPONSE_TABLE.get((request, category), "none")
+                if responses != {expected_response}:
+                    yield unit.finding(
+                        self,
+                        function,
+                        f"response mismatch for ({request}, {category}): code "
+                        f"returns {sorted(responses)}, Figure 1 says "
+                        f"{expected_response}",
+                    )
+                expected_cst = spec.RESPONDER_CST.get((request, category))
+                expected_effects = {f"cst:{expected_cst}"} if expected_cst else set()
+                if effects != expected_effects:
+                    yield unit.finding(
+                        self,
+                        function,
+                        f"responder CST mismatch for ({request}, {category}): "
+                        f"code sets {sorted(effects) or ['nothing']}, spec "
+                        f"requires {sorted(expected_effects) or ['nothing']}",
+                    )
+
+
+@register
+class RequesterCstRule(_FileRule):
+    """note_request_conflicts vs spec.REQUESTER_CST (dual-update mirror)."""
+
+    name = "SIM-P304"
+    severity = "error"
+    description = (
+        "requester-side CST updates must mirror the responder's per the "
+        "spec's dual-update pairing"
+    )
+    target_file = "repro/core/processor.py"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        function = find_function(unit, "FlexTMProcessor", "note_request_conflicts")
+        if function is None:
+            yield _missing(unit, self, "FlexTMProcessor.note_request_conflicts")
+            return
+
+        atom_eval = make_atom_eval(
+            var_map={"kind": "kind", "response": "response"},
+            predicate_maps={"kind": _ACCESS_PREDICATES},
+        )
+        simulator = _Simulator(atom_eval, lambda value, env: None, effect_of=_cst_effects)
+
+        for access in spec.ACCESSES:
+            for response in spec.RESPONSES:
+                env: Env = {"kind": access, "response": response}
+                effects: Set[str] = set()
+                for _status, _label, _e, path_effects in simulator.run(function.body, env):
+                    effects |= set(path_effects)
+                expected_cst = spec.REQUESTER_CST.get((access, response))
+                expected_effects = {f"cst:{expected_cst}"} if expected_cst else set()
+                if effects != expected_effects:
+                    yield unit.finding(
+                        self,
+                        function,
+                        f"requester CST mismatch for ({access}, {response}): "
+                        f"code sets {sorted(effects) or ['nothing']}, spec "
+                        f"requires {sorted(expected_effects) or ['nothing']}",
+                    )
+
+
+# --------------------------------------------------------------------------- #
+# SIM-P305: directory grants.
+
+
+@register
+class DirectoryGrantRule(_FileRule):
+    """_grant_and_record vs spec grant rules."""
+
+    name = "SIM-P305"
+    severity = "error"
+    description = (
+        "directory grants must match the spec: GETS->TI (threatened) / "
+        "E (no holders) / S, GETX->M, TGETX->TMI"
+    )
+    target_file = "repro/coherence/directory.py"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        function = find_function(unit, "Directory", "_grant_and_record")
+        if function is None:
+            yield _missing(unit, self, "Directory._grant_and_record")
+            return
+
+        atom_eval = make_atom_eval(
+            var_map={"req_type": "req"},
+            predicate_maps={"req": _REQUEST_PREDICATES},
+            bool_vars={"threatened": "threatened", "entry.empty": "empty"},
+        )
+
+        def classify_return(value: Optional[ast.expr], env: Env) -> Optional[str]:
+            resolved = _enum_value(value) if value is not None else None
+            return resolved if resolved is not None else "unknown"
+
+        simulator = _Simulator(
+            atom_eval, classify_return, preserve_vars=frozenset({"threatened"})
+        )
+
+        for request in spec.REQUESTS:
+            for threatened in (True, False):
+                for empty in (True, False):
+                    env: Env = {"req": request, "threatened": threatened, "empty": empty}
+                    grants: Set[str] = set()
+                    raised = False
+                    for status, label, _e, _f in simulator.run(function.body, env):
+                        if status == "return" and label is not None:
+                            grants.add(label)
+                        elif status == "raise":
+                            raised = True
+                    if request == "GETS":
+                        expected = "TI" if threatened else ("E" if empty else "S")
+                    elif request == "GETX":
+                        expected = "M"
+                    else:
+                        expected = "TMI"
+                    if raised:
+                        yield unit.finding(
+                            self,
+                            function,
+                            f"_grant_and_record can raise for {request} "
+                            f"(threatened={threatened}, empty={empty})",
+                        )
+                    if grants != {expected}:
+                        yield unit.finding(
+                            self,
+                            function,
+                            f"grant mismatch for {request} (threatened="
+                            f"{threatened}, empty={empty}): code grants "
+                            f"{sorted(grants)}, spec expects {expected}",
+                        )
+                    for grant in sorted(grants):
+                        if grant != "unknown" and grant not in spec.GRANTS[request]:
+                            yield unit.finding(
+                                self,
+                                function,
+                                f"{request} can grant {grant}, which is outside "
+                                f"spec.GRANTS[{request}]",
+                            )
+
+
+# --------------------------------------------------------------------------- #
+# SIM-P306: flash commit/abort transforms.
+
+
+@register
+class FlashTransformRule(_FileRule):
+    """LineState.after_commit/after_abort vs spec transforms."""
+
+    name = "SIM-P306"
+    severity = "error"
+    description = (
+        "flash commit/abort transforms must match Figure 3: TMI->M/I, "
+        "TI->I, MESI states unchanged"
+    )
+    target_file = "repro/coherence/states.py"
+
+    def check(self, unit: ModuleUnit) -> Iterator[Finding]:
+        for method, table in (
+            ("after_commit", spec.COMMIT_TRANSFORM),
+            ("after_abort", spec.ABORT_TRANSFORM),
+        ):
+            function = find_function(unit, "LineState", method)
+            if function is None:
+                yield _missing(unit, self, f"LineState.{method}")
+                continue
+
+            atom_eval = make_atom_eval(
+                var_map={"self": "state"},
+                predicate_maps={"state": _STATE_PREDICATES},
+            )
+
+            def classify_return(value: Optional[ast.expr], env: Env) -> Optional[str]:
+                if value is not None:
+                    resolved = _enum_value(value)
+                    if resolved is not None:
+                        return resolved
+                    if dotted_name(value) == "self":
+                        return str(env["state"])
+                return "unknown"
+
+            simulator = _Simulator(atom_eval, classify_return)
+            for state in spec.STATES:
+                finals = {
+                    label
+                    for status, label, _e, _f in simulator.run(
+                        function.body, {"state": state}
+                    )
+                    if status == "return" and label is not None
+                }
+                expected = table[state]
+                if finals != {expected}:
+                    yield unit.finding(
+                        self,
+                        function,
+                        f"{method}({state}) yields {sorted(finals)}; Figure 3 "
+                        f"requires {expected}",
+                    )

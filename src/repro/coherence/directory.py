@@ -229,6 +229,8 @@ class Directory:
         responses: List[Tuple[int, ResponseKind]],
     ) -> None:
         """Emit one ``coh_request`` plus a ``coh_response`` per response."""
+        if not self.tracer.enabled:
+            return
         now = self.clock_of(requestor) if self.clock_of is not None else 0
         self.tracer.coherence(
             requestor, now, "coh_request", line_address,

@@ -252,6 +252,8 @@ class L1Controller:
         adversarial pressure; the victim goes through :meth:`evict`, so
         every state keeps its architected eviction behaviour.
         """
+        if self.chaos is None:
+            return
         candidates = [
             line
             for line in self.array.valid_lines()

@@ -1,0 +1,276 @@
+"""Machine-readable TMESI protocol specification (Figure 1 / Figure 3).
+
+The tables in this module transcribe the paper's protocol figures
+(Shriraman et al., TR #925 / ISCA 2008) into data that tools can
+consume:
+
+* the ``simcheck`` static pass (``repro.analysis.rules_protocol``)
+  extracts the actual (state x message) dispatch from
+  ``coherence/l1.py``, ``coherence/directory.py`` and
+  ``core/processor.py`` and diffs it against these tables, reporting
+  unhandled pairs and dead transitions at lint time;
+* ``tests/coherence/test_spec_crosscheck.py`` pins the executable
+  :class:`~repro.coherence.states.LineState` predicates and encodings
+  against the same tables, so the spec, the enum, and the controllers
+  can never drift apart silently.
+
+Everything is expressed over plain strings (state / message / access
+names) so the spec itself imports nothing from the implementation —
+the cross-checks are what tie the two together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+# --------------------------------------------------------------------------- #
+# Vocabulary
+
+#: The six stable L1 states of Figure 1.
+STATES: Tuple[str, ...] = ("I", "S", "E", "M", "TMI", "TI")
+
+#: Processor-side memory operations.
+ACCESSES: Tuple[str, ...] = ("Load", "Store", "TLoad", "TStore")
+
+#: L1 -> directory request messages (Section 3.3).
+REQUESTS: Tuple[str, ...] = ("GETS", "GETX", "TGETX")
+
+#: Signature-qualified responses a remote L1 can return.
+RESPONSES: Tuple[str, ...] = ("Shared", "Invalidated", "Threatened", "Exposed-Read")
+
+# --------------------------------------------------------------------------- #
+# Figure 1: the (M, V, T) hardware encoding table.
+
+ENCODINGS: Dict[str, Tuple[int, int, int]] = {
+    "I": (0, 0, 0),
+    "S": (0, 1, 0),
+    "M": (1, 0, 0),
+    "E": (1, 1, 0),
+    "TMI": (1, 0, 1),
+    "TI": (0, 0, 1),
+}
+
+#: State predicates used by the controllers; ``simcheck`` expands
+#: ``state.<predicate>`` conditions through this table, and the
+#: cross-check test pins them against the ``LineState`` properties.
+STATE_PREDICATES: Dict[str, FrozenSet[str]] = {
+    "is_valid": frozenset({"S", "E", "M", "TMI", "TI"}),
+    "is_transactional": frozenset({"TMI", "TI"}),  # T bit set
+    "readable": frozenset({"S", "E", "M", "TMI", "TI"}),
+    "writable": frozenset({"E", "M"}),
+    "tstore_hits": frozenset({"TMI"}),
+}
+
+#: Access-kind predicates (``AccessKind`` properties).
+ACCESS_PREDICATES: Dict[str, FrozenSet[str]] = {
+    "is_transactional": frozenset({"TLoad", "TStore"}),
+    "is_write": frozenset({"Store", "TStore"}),
+}
+
+#: Request-type predicates (``RequestType`` properties).
+REQUEST_PREDICATES: Dict[str, FrozenSet[str]] = {
+    "is_exclusive": frozenset({"GETX", "TGETX"}),
+}
+
+# --------------------------------------------------------------------------- #
+# Local access dispatch: what the L1 must do for every
+# (access kind x stable state) pair.  Outcome vocabulary:
+#
+# ``local``    satisfied without a directory request (plain hits, the
+#              silent E->M Store upgrade, the TMI TStore hit, and the
+#              M --TStore/Flush--> TMI transition of Figure 1);
+# ``request``  a directory request is issued (misses and upgrades that
+#              need new permissions — GETS / GETX / TGETX);
+# ``error``    architecturally illegal; the controller must raise
+#              (a non-transactional Store hitting a local TMI line
+#              would corrupt the pre-speculative image).
+
+LOCAL_DISPATCH: Dict[Tuple[str, str], str] = {
+    # Load: any valid copy satisfies it (TMI sees its own speculation,
+    # TI holds the pre-speculative value).
+    ("Load", "I"): "request",
+    ("Load", "S"): "local",
+    ("Load", "E"): "local",
+    ("Load", "M"): "local",
+    ("Load", "TMI"): "local",
+    ("Load", "TI"): "local",
+    # TLoad: identical hit behaviour; misses go out as GETS.
+    ("TLoad", "I"): "request",
+    ("TLoad", "S"): "local",
+    ("TLoad", "E"): "local",
+    ("TLoad", "M"): "local",
+    ("TLoad", "TMI"): "local",
+    ("TLoad", "TI"): "local",
+    # Store: E upgrades silently to M; S/TI need a GETX upgrade;
+    # a Store to a local TMI line is a protocol violation.
+    ("Store", "I"): "request",
+    ("Store", "S"): "request",
+    ("Store", "E"): "local",
+    ("Store", "M"): "local",
+    ("Store", "TMI"): "error",
+    ("Store", "TI"): "request",
+    # TStore: TMI hits; M flushes the non-speculative value and flips
+    # to TMI locally (Figure 1's "TStore/Flush" arc); everything else
+    # issues TGETX.
+    ("TStore", "I"): "request",
+    ("TStore", "S"): "request",
+    ("TStore", "E"): "request",
+    ("TStore", "M"): "local",
+    ("TStore", "TMI"): "local",
+    ("TStore", "TI"): "request",
+}
+
+#: Which directory request a miss (state I) issues per access kind.
+MISS_REQUESTS: Dict[str, str] = {
+    "Load": "GETS",
+    "TLoad": "GETS",
+    "Store": "GETX",
+    "TStore": "TGETX",
+}
+
+# --------------------------------------------------------------------------- #
+# Remote (forwarded-request) dispatch: the responder-side next state for
+# every (request x current state) pair.  TMI lines never yield their
+# speculative data; exclusive requests invalidate every other state;
+# GETS demotes M/E to S and leaves S/TI untouched.
+
+REMOTE_NEXT_STATE: Dict[Tuple[str, str], str] = {
+    ("GETS", "I"): "I",
+    ("GETS", "S"): "S",
+    ("GETS", "E"): "S",
+    ("GETS", "M"): "S",
+    ("GETS", "TMI"): "TMI",
+    ("GETS", "TI"): "TI",
+    ("GETX", "I"): "I",
+    ("GETX", "S"): "I",
+    ("GETX", "E"): "I",
+    ("GETX", "M"): "I",
+    ("GETX", "TMI"): "TMI",
+    ("GETX", "TI"): "I",
+    ("TGETX", "I"): "I",
+    ("TGETX", "S"): "I",
+    ("TGETX", "E"): "I",
+    ("TGETX", "M"): "I",
+    ("TGETX", "TMI"): "TMI",
+    ("TGETX", "TI"): "I",
+}
+
+# --------------------------------------------------------------------------- #
+# Figure 1's signature response table.  The responder consults Wsig
+# first (a Wsig hit always answers Threatened); an Rsig-only hit
+# qualifies by request type.  ``None`` = no signature response.
+
+SIGNATURE_CATEGORIES: Tuple[str, ...] = ("wsig", "rsig_only", "none")
+
+RESPONSE_TABLE: Dict[Tuple[str, str], str] = {
+    ("GETS", "wsig"): "Threatened",
+    ("GETX", "wsig"): "Threatened",
+    ("TGETX", "wsig"): "Threatened",
+    ("GETS", "rsig_only"): "Shared",
+    ("GETX", "rsig_only"): "Invalidated",
+    ("TGETX", "rsig_only"): "Exposed-Read",
+}
+
+# --------------------------------------------------------------------------- #
+# CST dual-update pairing (Figure 3 / Section 3.4).  Conflict responses
+# set Conflict Summary Table bits on *both* sides of the exchange:
+#
+# * the responder records the requestor in one of its CSTs inside
+#   ``classify_remote`` (keyed by which signature hit and the request
+#   type);
+# * the requestor records the responder in the mirrored CST when the
+#   response arrives, inside ``note_request_conflicts`` (keyed by its
+#   access kind and the response kind).
+#
+# A ``None`` CST means that path must NOT touch any CST: strong
+# isolation on plain GETX aborts the responder outright instead of
+# recording a conflict, and Shared/Invalidated responses carry no
+# transactional conflict for the requestor.
+
+#: (request, signature category) -> responder CST holding the requestor.
+RESPONDER_CST: Dict[Tuple[str, str], str] = {
+    ("GETS", "wsig"): "w_r",
+    ("TGETX", "wsig"): "w_w",
+    ("TGETX", "rsig_only"): "r_w",
+}
+
+#: (access kind, response kind) -> requestor CST holding the responder.
+REQUESTER_CST: Dict[Tuple[str, str], str] = {
+    ("TLoad", "Threatened"): "r_w",
+    ("TStore", "Threatened"): "w_w",
+    ("TStore", "Exposed-Read"): "w_r",
+}
+
+#: Mirror relation of the dual update: when the responder sets table X
+#: for a conflict, the requestor's matching update sets DUAL_CST[X].
+DUAL_CST: Dict[str, str] = {"w_r": "r_w", "r_w": "w_r", "w_w": "w_w"}
+
+# --------------------------------------------------------------------------- #
+# Directory grants: the state granted to the requestor.  GETS grants TI
+# when any responder answered Threatened (a remote TMI exists), E when
+# the line had no holders, S otherwise; exclusivity is always granted
+# for GETX/TGETX (conflicts are resolved through CSTs, not by stalling).
+
+GRANTS: Dict[str, FrozenSet[str]] = {
+    "GETS": frozenset({"TI", "E", "S"}),
+    "GETX": frozenset({"M"}),
+    "TGETX": frozenset({"TMI"}),
+}
+
+#: The GETS grant conditions, most specific first.
+GETS_GRANT_RULES: Tuple[Tuple[str, str], ...] = (
+    ("threatened", "TI"),
+    ("no_holders", "E"),
+    ("otherwise", "S"),
+)
+
+# --------------------------------------------------------------------------- #
+# Figure 3: flash commit / abort transforms (CAS-Commit outcome sweeps
+# every line in a single cycle; T bits clear either way).
+
+COMMIT_TRANSFORM: Dict[str, str] = {
+    "I": "I",
+    "S": "S",
+    "E": "E",
+    "M": "M",
+    "TMI": "M",  # speculative writes become the committed version
+    "TI": "I",  # pre-speculative copy may now be stale
+}
+
+ABORT_TRANSFORM: Dict[str, str] = {
+    "I": "I",
+    "S": "S",
+    "E": "E",
+    "M": "M",
+    "TMI": "I",  # speculation discarded
+    "TI": "I",
+}
+
+
+def _check_internal_consistency() -> None:
+    """Structural sanity of the tables themselves (import-time cheap)."""
+    universe = set(STATES)
+    for (access, state), outcome in LOCAL_DISPATCH.items():
+        assert access in ACCESSES and state in universe, (access, state)
+        assert outcome in ("local", "request", "error"), outcome
+    assert set(LOCAL_DISPATCH) == {(a, s) for a in ACCESSES for s in STATES}
+    assert set(REMOTE_NEXT_STATE) == {(r, s) for r in REQUESTS for s in STATES}
+    for (request, category), response in RESPONSE_TABLE.items():
+        assert request in REQUESTS and category in SIGNATURE_CATEGORIES
+        assert response in RESPONSES
+    # Dual-update symmetry: every responder-side CST update has exactly
+    # one requestor-side mirror reachable through the access kind that
+    # produced the request, and the tables agree through DUAL_CST.
+    access_of_request = {"GETS": "TLoad", "TGETX": "TStore"}
+    for (request, category), cst in RESPONDER_CST.items():
+        access = access_of_request[request]
+        response = RESPONSE_TABLE[(request, category)]
+        mirrored = REQUESTER_CST.get((access, response))
+        assert mirrored == DUAL_CST[cst], (request, category, cst, mirrored)
+    for state, target in COMMIT_TRANSFORM.items():
+        assert state in universe and target in universe
+    for state, target in ABORT_TRANSFORM.items():
+        assert state in universe and target in universe
+
+
+_check_internal_consistency()

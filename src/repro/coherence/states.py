@@ -34,7 +34,7 @@ class LineState(enum.Enum):
     TI = "TI"
 
     @property
-    def encoding(self) -> tuple:
+    def encoding(self) -> tuple[int, int, int]:
         """(M bit, V bit, T bit) hardware encoding from Figure 1."""
         return _ENCODING[self]
 

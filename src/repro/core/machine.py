@@ -196,6 +196,8 @@ class FlexTMMachine:
         conflicts: List[Tuple[int, ResponseKind]],
     ) -> None:
         """Emit the (sampled) access and any CST-setting conflicts."""
+        if not self.tracer.enabled:
+            return
         now = proc.clock.now
         thread = proc.current.thread_id if proc.current is not None else -1
         rw = "read" if kind is AccessKind.TLOAD else "write"

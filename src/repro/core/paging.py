@@ -53,7 +53,7 @@ def unmap_page(machine: FlexTMMachine, page_base: int) -> int:
                 proc.l1.array.remove(line_address)
                 moved += 1
         # Plain copies of the unmapped page are dropped.
-        for line_address in lines:
+        for line_address in sorted(lines):
             cached = proc.l1.array.peek(line_address)
             if cached is not None and not cached.state.is_transactional:
                 proc.l1.array.remove(line_address)

@@ -48,6 +48,17 @@ Each cell reports commits per ladder rung (healthy / boosted / eager /
 irrevocable) and time-to-recovery; the exit status is non-zero if any
 cell wedges — the forward-progress guarantee.  See
 ``python -m repro.harness degrade --help`` and docs/RESILIENCE.md.
+
+The simcheck static-analysis engine runs through the ``analyze``
+subcommand::
+
+    python -m repro.harness analyze [--format text|json|sarif]
+
+It gates determinism, hook-site hygiene, the tracer-event registry,
+and TMESI protocol exhaustiveness against the machine-readable spec in
+``repro.coherence.spec``; the exit status is non-zero on any new
+error-severity finding.  See ``python -m repro.harness analyze --help``
+and docs/ANALYSIS.md.
 """
 
 from __future__ import annotations
@@ -83,6 +94,10 @@ def main(argv=None) -> int:
         from repro.harness.degrade import run_degrade_command
 
         return run_degrade_command(argv[1:])
+    if argv and argv[0] == "analyze":
+        from repro.harness.analyze import run_analyze_command
+
+        return run_analyze_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate FlexTM paper tables and figures.",

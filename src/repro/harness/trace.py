@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 import os
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.descriptor import ConflictMode
 from repro.obs.export import (

@@ -44,7 +44,7 @@ Event taxonomy (the ``kind`` field of :class:`TraceEvent`):
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 #: CST kinds reported by ``conflict_detected`` events.  "SI" marks a
 #: strong-isolation abort caused by a non-transactional writer.

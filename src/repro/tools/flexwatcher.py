@@ -162,7 +162,7 @@ class FlexWatcher:
         """ML mode: watched lines not touched within the horizon."""
         cutoff = self.clock.now - horizon_cycles
         untouched = set()
-        for line in self._watched_lines:
+        for line in sorted(self._watched_lines):
             if self._timestamps.get(line, -1) < cutoff:
                 untouched.add(line)
         return untouched

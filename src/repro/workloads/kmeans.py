@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterator, List, Tuple
 
 from repro.runtime.txthread import WorkItem
-from repro.workloads.base import Workload, word_address
+from repro.workloads.base import Workload
 
 #: Dimensionality of the synthetic points.
 DIMENSIONS = 2

@@ -1,0 +1,61 @@
+"""Shared fixtures for the simcheck test suite."""
+
+from __future__ import annotations
+
+import shutil
+import textwrap
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import all_rules, run_analysis
+from repro.analysis.engine import AnalysisReport
+
+#: The real source tree, used by mutation tests.
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+
+def analyze_snippet(
+    tmp_path: Path,
+    relpath: str,
+    source: str,
+    rules: Sequence[str],
+    baseline: Optional[Dict[str, int]] = None,
+) -> AnalysisReport:
+    """Write ``source`` at ``relpath`` under a scratch root and analyze it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    registry = all_rules()
+    selected = [registry[name] for name in rules]
+    return run_analysis(
+        tmp_path, [target], rules=selected, baseline_fingerprints=baseline
+    )
+
+
+def rule_ids(report: AnalysisReport) -> List[str]:
+    return [finding.rule for finding in report.findings]
+
+
+def copy_repro_subtree(tmp_path: Path, *subpaths: str) -> Path:
+    """Copy parts of the real ``repro`` package into a scratch root.
+
+    Returns the scratch root; the copies live at ``repro/<subpath>``
+    so path-scoped rules see their expected layout.
+    """
+    for subpath in subpaths:
+        source = SRC_ROOT / "repro" / subpath
+        destination = tmp_path / "repro" / subpath
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        if source.is_dir():
+            shutil.copytree(source, destination)
+        else:
+            shutil.copy(source, destination)
+    return tmp_path
+
+
+def mutate(root: Path, relpath: str, old: str, new: str) -> None:
+    """Single-occurrence source mutation, asserting the needle exists."""
+    path = root / relpath
+    text = path.read_text(encoding="utf-8")
+    assert old in text, f"mutation needle not found in {relpath}: {old!r}"
+    path.write_text(text.replace(old, new, 1), encoding="utf-8")

@@ -1,0 +1,101 @@
+"""The ``python -m repro.harness analyze`` command surface."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.harness.analyze import run_analyze_command
+
+_BAD = """
+class Machine:
+    def step(self):
+        self.tracer.tx_begin(0, 1, 2)
+"""
+
+
+def _seed_violation(tmp_path):
+    target = tmp_path / "repro/core/bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(textwrap.dedent(_BAD), encoding="utf-8")
+    return target
+
+
+def test_exits_nonzero_on_violation(tmp_path, capsys):
+    _seed_violation(tmp_path)
+    status = run_analyze_command(
+        ["--root", str(tmp_path), "--no-baseline", str(tmp_path / "repro")]
+    )
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "SIM-H102" in out
+
+
+def test_exits_zero_on_clean_tree(tmp_path, capsys):
+    target = tmp_path / "repro/core/ok.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("class Machine:\n    pass\n", encoding="utf-8")
+    status = run_analyze_command(
+        ["--root", str(tmp_path), "--no-baseline", str(tmp_path / "repro")]
+    )
+    assert status == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_exits_zero_on_repo_at_head(capsys):
+    # The acceptance criterion: the committed tree analyzes clean.
+    status = run_analyze_command([])
+    assert status == 0, capsys.readouterr().out
+
+
+def test_update_baseline_then_gate_passes(tmp_path, capsys):
+    _seed_violation(tmp_path)
+    target = str(tmp_path / "repro")
+    assert run_analyze_command(["--root", str(tmp_path), target]) == 1
+    assert (
+        run_analyze_command(["--root", str(tmp_path), "--update-baseline", target])
+        == 0
+    )
+    assert (tmp_path / "simcheck-baseline.json").exists()
+    assert run_analyze_command(["--root", str(tmp_path), target]) == 0
+    capsys.readouterr()
+
+
+def test_rule_selection_and_unknown_rule(tmp_path, capsys):
+    _seed_violation(tmp_path)
+    target = str(tmp_path / "repro")
+    # The violation is SIM-H102; selecting only determinism rules passes.
+    status = run_analyze_command(
+        ["--root", str(tmp_path), "--no-baseline", "--rule", "SIM-D001", target]
+    )
+    assert status == 0
+    assert run_analyze_command(["--rule", "SIM-X999"]) == 2
+    capsys.readouterr()
+
+
+def test_list_rules(capsys):
+    assert run_analyze_command(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SIM-D001", "SIM-H101", "SIM-E201", "SIM-P301"):
+        assert rule_id in out
+
+
+def test_json_report_to_file(tmp_path, capsys):
+    _seed_violation(tmp_path)
+    out_file = tmp_path / "report.json"
+    status = run_analyze_command(
+        [
+            "--root",
+            str(tmp_path),
+            "--no-baseline",
+            "--format",
+            "json",
+            "--out",
+            str(out_file),
+            str(tmp_path / "repro"),
+        ]
+    )
+    assert status == 1
+    payload = json.loads(out_file.read_text(encoding="utf-8"))
+    assert payload["summary"]["errors"] == 1
+    capsys.readouterr()

@@ -1,0 +1,242 @@
+"""Positive and negative fixtures for the SIM-D0xx determinism rules."""
+
+from __future__ import annotations
+
+from tests.analysis.helpers import analyze_snippet, rule_ids
+
+
+class TestWallClock:
+    def test_flags_time_time(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/bad.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            ["SIM-D001"],
+        )
+        assert rule_ids(report) == ["SIM-D001"]
+
+    def test_flags_datetime_now_and_from_import(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/bad.py",
+            """
+            import datetime
+            from time import monotonic
+
+            def stamp():
+                return datetime.datetime.now()
+            """,
+            ["SIM-D001"],
+        )
+        assert rule_ids(report) == ["SIM-D001", "SIM-D001"]
+
+    def test_perf_counter_is_allowed(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/harness/ok.py",
+            """
+            import time
+
+            def wall():
+                return time.perf_counter()
+            """,
+            ["SIM-D001"],
+        )
+        assert report.findings == []
+
+    def test_sanctioned_clock_module_exempt(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/sim/clock.py",
+            """
+            import time
+
+            def now():
+                return time.time()
+            """,
+            ["SIM-D001"],
+        )
+        assert report.findings == []
+
+
+class TestGlobalRandom:
+    def test_flags_import_and_call(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/workloads/bad.py",
+            """
+            import random
+
+            def roll():
+                return random.randint(1, 6)
+            """,
+            ["SIM-D002"],
+        )
+        assert rule_ids(report) == ["SIM-D002", "SIM-D002"]
+
+    def test_sim_rng_exempt_and_streams_clean(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/sim/rng.py",
+            """
+            import random
+
+            def make(seed):
+                return random.Random(seed)
+            """,
+            ["SIM-D002"],
+        )
+        assert report.findings == []
+
+
+class TestOsEntropy:
+    def test_flags_urandom_uuid_secrets(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/bad.py",
+            """
+            import os
+            import uuid
+            import secrets
+
+            def token():
+                return os.urandom(8), uuid.uuid4(), secrets.token_hex(4)
+            """,
+            ["SIM-D003"],
+        )
+        assert rule_ids(report) == ["SIM-D003"] * 4  # import secrets + 3 calls
+
+    def test_uuid5_is_deterministic_and_clean(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/ok.py",
+            """
+            import uuid
+
+            def name_id(ns, name):
+                return uuid.uuid5(ns, name)
+            """,
+            ["SIM-D003"],
+        )
+        assert report.findings == []
+
+
+class TestBuiltinHash:
+    def test_flags_builtin_hash(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/signatures/bad.py",
+            """
+            def bucket(key):
+                return hash(key) % 64
+            """,
+            ["SIM-D004"],
+        )
+        assert rule_ids(report) == ["SIM-D004"]
+
+    def test_hashlib_and_methods_clean(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/signatures/ok.py",
+            """
+            import hashlib
+            import zlib
+
+            def bucket(key):
+                return zlib.crc32(key.encode()) % 64
+
+            def digest(key):
+                return hashlib.sha256(key.encode()).hexdigest()
+            """,
+            ["SIM-D004"],
+        )
+        assert report.findings == []
+
+
+class TestSetIteration:
+    def test_flags_for_loop_over_set(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/bad.py",
+            """
+            def drain(items):
+                pending = set(items)
+                out = []
+                for item in pending:
+                    out.append(item)
+                return out
+            """,
+            ["SIM-D005"],
+        )
+        assert rule_ids(report) == ["SIM-D005"]
+
+    def test_flags_self_attribute_and_list_sink(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/bad.py",
+            """
+            class Tracker:
+                def __init__(self):
+                    self.seen = set()
+
+                def snapshot(self):
+                    return list(self.seen)
+            """,
+            ["SIM-D005"],
+        )
+        assert rule_ids(report) == ["SIM-D005"]
+
+    def test_flags_annotated_set(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/bad.py",
+            """
+            from typing import Set
+
+            class Tracker:
+                def __init__(self):
+                    self.seen: Set[int] = set()
+
+                def items(self):
+                    return [x for x in self.seen]
+            """,
+            ["SIM-D005"],
+        )
+        assert rule_ids(report) == ["SIM-D005"]
+
+    def test_sorted_iteration_and_membership_clean(self, tmp_path):
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/ok.py",
+            """
+            def drain(items):
+                pending = set(items)
+                if 3 in pending:
+                    pending.discard(3)
+                return [item for item in sorted(pending)]
+            """,
+            ["SIM-D005"],
+        )
+        assert report.findings == []
+
+    def test_nested_frozenset_annotation_is_not_a_set(self, tmp_path):
+        # Regression: List[Tuple[X, FrozenSet[str]]] is a list.
+        report = analyze_snippet(
+            tmp_path,
+            "repro/core/ok.py",
+            """
+            from typing import FrozenSet, List, Tuple
+
+            def spin(work):
+                states: List[Tuple[int, FrozenSet[str]]] = [(0, frozenset())]
+                for state in states:
+                    pass
+            """,
+            ["SIM-D005"],
+        )
+        assert report.findings == []

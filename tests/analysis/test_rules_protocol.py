@@ -1,0 +1,180 @@
+"""SIM-P3xx protocol-exhaustiveness rules, exercised by mutation.
+
+Each test copies the real controller sources into a scratch tree,
+seeds one protocol bug, and asserts the matching rule catches it —
+plus one test asserting the pristine tree is clean, which is what
+makes the mutations meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import all_rules, run_analysis
+
+from tests.analysis.helpers import copy_repro_subtree, mutate
+
+_PROTOCOL_RULES = [
+    "SIM-P301",
+    "SIM-P302",
+    "SIM-P303",
+    "SIM-P304",
+    "SIM-P305",
+    "SIM-P306",
+]
+
+
+def _run(root, rules=_PROTOCOL_RULES):
+    registry = all_rules()
+    return run_analysis(root, [root], rules=[registry[name] for name in rules])
+
+
+def _scratch(tmp_path):
+    return copy_repro_subtree(
+        tmp_path,
+        "coherence/l1.py",
+        "coherence/directory.py",
+        "coherence/states.py",
+        "core/processor.py",
+    )
+
+
+def test_pristine_tree_is_clean(tmp_path):
+    root = _scratch(tmp_path)
+    report = _run(root)
+    assert report.findings == []
+
+
+def test_p301_catches_dropped_store_hit(tmp_path):
+    # Remove the Store-on-M fast path: (M, Store) now falls to the
+    # ProtocolError raise in _upgrade.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/coherence/l1.py",
+        "if state is LineState.M:",
+        "if state is LineState.I:",
+    )
+    report = _run(root, ["SIM-P301"])
+    assert any(
+        "(M, Store)" in finding.message and finding.rule == "SIM-P301"
+        for finding in report.findings
+    )
+
+
+def test_p301_catches_wrong_miss_request(tmp_path):
+    # TStore miss must issue TGETX, not GETX.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/coherence/l1.py",
+        "AccessKind.TSTORE: RequestType.TGETX",
+        "AccessKind.TSTORE: RequestType.GETX",
+    )
+    report = _run(root, ["SIM-P301"])
+    assert any(
+        "TStore" in finding.message and "TGETX" in finding.message
+        for finding in report.findings
+    )
+
+
+def test_p302_catches_tmi_yielding_remotely(tmp_path):
+    # Delete the TMI early-return: a forwarded exclusive now drops the
+    # speculative line, losing the only copy of transactional data.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/coherence/l1.py",
+        "if line is not None and line.state is LineState.TMI:",
+        "if line is not None and line.state is LineState.I:",
+    )
+    report = _run(root, ["SIM-P302"])
+    assert any(
+        "TMI" in finding.message and finding.rule == "SIM-P302"
+        for finding in report.findings
+    )
+
+
+def test_p303_catches_wrong_response(tmp_path):
+    # Threatened responder answering a TGETX with Shared.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/core/processor.py",
+        "return ResponseKind.THREATENED",
+        "return ResponseKind.SHARED",
+    )
+    report = _run(root, ["SIM-P303"])
+    assert any(
+        "response mismatch" in finding.message for finding in report.findings
+    )
+
+
+def test_p303_catches_wrong_responder_cst(tmp_path):
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/core/processor.py",
+        "self.csts.w_r.set(",
+        "self.csts.r_w.set(",
+    )
+    report = _run(root, ["SIM-P303"])
+    assert any(
+        "responder CST mismatch" in finding.message for finding in report.findings
+    )
+
+
+def test_p304_catches_missing_requester_update(tmp_path):
+    # The requester-side mirror of Exposed-Read must set w_r.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/core/processor.py",
+        "self.csts.w_r.set(responder)",
+        "self.csts.noted = bool(responder)",
+    )
+    report = _run(root, ["SIM-P304"])
+    assert any(
+        "requester CST mismatch" in finding.message for finding in report.findings
+    )
+
+
+def test_p305_catches_wrong_grant(tmp_path):
+    # GETX must be granted M, never E.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/coherence/directory.py",
+        "return LineState.M",
+        "return LineState.E",
+    )
+    report = _run(root, ["SIM-P305"])
+    assert any("grant mismatch" in finding.message for finding in report.findings)
+
+
+def test_p306_catches_broken_flash_commit(tmp_path):
+    # Flash commit must promote TMI to M.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/coherence/states.py",
+        "return LineState.M",
+        "return LineState.E",
+    )
+    report = _run(root, ["SIM-P306"])
+    assert any(
+        "after_commit(TMI)" in finding.message for finding in report.findings
+    )
+
+
+def test_missing_function_is_reported_not_silent(tmp_path):
+    # Renaming a dispatch function must fail loudly, not pass vacuously.
+    root = _scratch(tmp_path)
+    mutate(
+        root,
+        "repro/coherence/l1.py",
+        "def _try_hit(",
+        "def _try_hit_renamed(",
+    )
+    report = _run(root, ["SIM-P301"])
+    assert any(
+        "extraction failed" in finding.message for finding in report.findings
+    )

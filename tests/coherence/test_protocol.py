@@ -8,7 +8,7 @@ installing TI, and eviction stickiness.
 
 import pytest
 
-from repro.coherence.messages import AccessKind, ResponseKind
+from repro.coherence.messages import ResponseKind
 from repro.coherence.states import LineState
 from repro.core.machine import FlexTMMachine
 from repro.params import small_test_params

@@ -1,6 +1,5 @@
 """TMESI state encodings and transforms (Figure 1)."""
 
-import pytest
 
 from repro.coherence.states import LineState
 

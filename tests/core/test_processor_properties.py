@@ -3,7 +3,6 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.descriptor import TransactionDescriptor
 from repro.core.machine import FlexTMMachine
 from repro.params import small_test_params
 from tests.helpers import begin_hardware_transaction

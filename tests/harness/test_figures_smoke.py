@@ -1,6 +1,5 @@
 """Fast smoke tests for the figure harnesses (tiny budgets)."""
 
-import pytest
 
 from repro.harness.figure4 import (
     render_conflict_table,

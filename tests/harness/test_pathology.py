@@ -1,9 +1,7 @@
 """Pathology analysis over run results."""
 
-import pytest
-
 from repro.core.descriptor import ConflictMode
-from repro.harness.pathology import PathologyReport, analyze, render
+from repro.harness.pathology import analyze, render
 from repro.harness.runner import ExperimentConfig, run_experiment
 from repro.params import small_test_params
 from repro.runtime.scheduler import RunResult

@@ -1,6 +1,5 @@
 """TxThread retry loop behaviour."""
 
-import pytest
 
 from repro.errors import TransactionAborted
 from repro.runtime.api import TMBackend

@@ -6,7 +6,6 @@ from repro.signatures.hashing import (
     ADDRESS_BITS,
     BitSelectHash,
     H3Hash,
-    HashFamily,
     make_hash_family,
 )
 from repro.sim.rng import DeterministicRng

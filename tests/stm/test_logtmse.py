@@ -8,7 +8,6 @@ from repro.params import small_test_params
 from repro.runtime.flextm import FlexTMRuntime
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.txthread import TxThread, WorkItem
-from repro.sim.rng import DeterministicRng
 from repro.stm.logtmse import LogTmSeRuntime
 from tests.helpers import drive
 

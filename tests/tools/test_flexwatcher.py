@@ -1,6 +1,5 @@
 """FlexWatcher mechanics."""
 
-import pytest
 
 from repro.tools.flexwatcher import (
     ACTION_CYCLES,

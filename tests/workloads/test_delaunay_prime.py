@@ -9,7 +9,7 @@ from repro.runtime.api import TxContext
 from repro.runtime.flextm import FlexTMRuntime
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.txthread import TxThread
-from repro.workloads.delaunay import SEAM_SEGMENTS, DelaunayWorkload
+from repro.workloads.delaunay import DelaunayWorkload
 from repro.workloads.prime import PrimeWorkload
 from tests.helpers import drive
 

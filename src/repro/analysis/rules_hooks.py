@@ -1,14 +1,14 @@
 """SIM-H1xx — hook-site hygiene rules.
 
-Observability (``tracer``), fault injection (``chaos``) and adaptive
-degradation (``resilience``) are *opt-in* layers: the core simulator
-must run bit-identically with all three absent.  That only holds if
-every hook use in ``core/``, ``coherence/`` and ``runtime/`` is behind
-its guard:
+Observability (``tracer``, ``metrics``), fault injection (``chaos``)
+and adaptive degradation (``resilience``) are *opt-in* layers: the core
+simulator must run bit-identically with all of them absent.  That only
+holds if every hook use in ``core/``, ``coherence/`` and ``runtime/``
+is behind its guard:
 
-* ``chaos`` / ``resilience`` attributes are ``None`` by default, so any
-  member access must be dominated by an ``is not None`` check on the
-  same expression (``SIM-H101``);
+* ``chaos`` / ``metrics`` / ``resilience`` attributes are ``None`` by
+  default, so any member access must be dominated by an ``is not None``
+  check on the same expression (``SIM-H101``);
 * the tracer is a shared ``NULL_TRACER`` whose methods are no-ops, so a
   bare emit is *functionally* safe — but the performance contract (one
   attribute read per potential event) and the layering contract (core
@@ -34,7 +34,7 @@ from repro.analysis.engine import Finding, ModuleUnit, Rule, dotted_name, regist
 HOOK_SCOPE = ("repro/core/", "repro/coherence/", "repro/runtime/")
 
 #: Optional hooks that default to None.
-OPTIONAL_HOOKS = ("chaos", "resilience")
+OPTIONAL_HOOKS = ("chaos", "metrics", "resilience")
 
 
 def _in_scope(unit: ModuleUnit) -> bool:

@@ -117,6 +117,8 @@ class Directory:
         self.clock_of: Optional[Callable] = None
         # Fault injection (installed by FlexTMMachine.set_chaos).
         self.chaos = None
+        # Metrics hub (installed by FlexTMMachine.set_metrics).
+        self.metrics = None
 
     def entry(self, line_address: int) -> DirectoryEntry:
         if line_address not in self._entries:
@@ -218,6 +220,9 @@ class Directory:
         grant = self._grant_and_record(requestor, req_type, line_address, entry, responses)
         if self.tracer.enabled:
             self._trace_request(requestor, req_type, line_address, grant.name, responses)
+        if self.metrics is not None:
+            now = self.clock_of(requestor) if self.clock_of is not None else 0
+            self.metrics.on_coherence(requestor, now)
         return DirectoryOutcome(cycles=cycles, responses=responses, grant=grant)
 
     def _trace_request(

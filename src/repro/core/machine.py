@@ -83,6 +83,8 @@ class FlexTMMachine:
         self.invariants = None
         #: Adaptive-degradation controller (opt-in, tracer-style).
         self.resilience = None
+        #: Metrics hub (opt-in, tracer-style; None = no metrics).
+        self.metrics = None
         #: TSW address -> (wounder proc, conflict kind), staged by the
         #: runtime just before an abort CAS so the hardware-level TSW
         #: write can attribute the wound.
@@ -144,6 +146,22 @@ class FlexTMMachine:
             proc.resilience = controller
         if controller is not None:
             controller.attach(self)
+
+    def set_metrics(self, hub) -> None:
+        """Install (or remove, with None) a metrics hub.
+
+        Fanned out tracer-style to the processors, their L1s, and the
+        directory; every hook site guards on ``metrics is None``, so a
+        metrics-armed run is bit-identical to an unarmed one.
+        """
+        self.metrics = hub
+        for proc in self.processors:
+            proc.metrics = hub
+            proc.l1.metrics = hub
+        self.directory.metrics = hub
+        if hub is not None:
+            self.directory.clock_of = lambda p: self.processors[p].clock.now
+            hub.attach(self)
 
     def _forward(
         self, responder: int, requestor: int, req_type: RequestType, line_address: int
@@ -207,6 +225,22 @@ class FlexTMMachine:
             cst = classify_conflict(kind, response)
             if cst is not None:
                 self.tracer.conflict(proc.proc_id, now, responder, cst, line)
+
+    def _metric_conflicts(
+        self,
+        proc: FlexTMProcessor,
+        kind: AccessKind,
+        conflicts: List[Tuple[int, ResponseKind]],
+    ) -> None:
+        """Feed CST-setting conflicts to the hub (independent of tracing)."""
+        metrics = self.metrics
+        if metrics is None:
+            return
+        now = proc.clock.now
+        for responder, response in conflicts:
+            cst = classify_conflict(kind, response)
+            if cst is not None:
+                metrics.on_conflict(proc.proc_id, now, responder, cst)
 
     # -------------------------------------------------------------- allocator
 
@@ -276,6 +310,11 @@ class FlexTMMachine:
                 now = proc.clock.now
                 for victim in aborted:
                     self.tracer.conflict(proc_id, now, victim, "SI", line)
+            metrics = self.metrics
+            if metrics is not None:
+                now = proc.clock.now
+                for victim in aborted:
+                    metrics.on_conflict(proc_id, now, victim, "SI")
         return out
 
     def tload(self, proc_id: int, address: int) -> MemoryOpResult:
@@ -299,6 +338,7 @@ class FlexTMMachine:
             proc.current.accesses += 1
         if self.tracer.enabled:
             self._trace_access(proc, AccessKind.TLOAD, address, conflicts)
+        self._metric_conflicts(proc, AccessKind.TLOAD, conflicts)
         value = self._read_value(proc, address, transactional=True)
         return MemoryOpResult(value=value, cycles=result.cycles + refill_cycles, conflicts=conflicts)
 
@@ -324,6 +364,7 @@ class FlexTMMachine:
             proc.current.accesses += 1
         if self.tracer.enabled:
             self._trace_access(proc, AccessKind.TSTORE, address, conflicts)
+        self._metric_conflicts(proc, AccessKind.TSTORE, conflicts)
         return MemoryOpResult(value=value, cycles=result.cycles + refill_cycles, conflicts=conflicts)
 
     def cas(self, proc_id: int, address: int, expected: int, new: int) -> MemoryOpResult:

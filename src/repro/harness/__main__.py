@@ -11,8 +11,9 @@ Usage::
     python -m repro.harness all
 
 Any figure/overflow artifact accepts ``--trace-out DIR`` to also dump
-one Chrome/Perfetto trace per measurement point, and ``--jobs N`` to
-fan independent measurement points out across worker processes
+one Chrome/Perfetto trace per measurement point, ``--metrics-out DIR``
+to dump one windowed-metrics JSON artifact per point, and ``--jobs N``
+to fan independent measurement points out across worker processes
 (``--jobs 0`` = one per CPU; output is bit-identical to ``--jobs 1``).
 
 Free-form sweeps run through the ``sweep`` subcommand::
@@ -29,6 +30,17 @@ A single run can be traced and inspected directly::
         --cycles 50000 --trace-out /tmp/trace.json
 
 See ``python -m repro.harness trace --help`` and docs/OBSERVABILITY.md.
+
+A single run can also be measured with the windowed metrics pipeline —
+JSON artifact plus a self-contained HTML dashboard — and two artifacts
+can be diffed window by window::
+
+    python -m repro.harness metrics hashtable FlexTM --threads 4 \\
+        --cycles 50000 --json-out run.metrics.json --html-out run.html
+    python -m repro.harness metrics compare a.metrics.json b.metrics.json
+
+See ``python -m repro.harness metrics --help`` and
+docs/OBSERVABILITY.md.
 
 The robustness fault matrix runs through the ``chaos`` subcommand::
 
@@ -80,6 +92,12 @@ def main(argv=None) -> int:
         from repro.harness.trace import run_trace_command
 
         return run_trace_command(argv[1:])
+    if argv and argv[0] == "metrics":
+        # Same positional grammar as trace (workload + system), plus a
+        # ``compare`` sub-mode for diffing two artifacts.
+        from repro.harness.metrics import run_metrics_command
+
+        return run_metrics_command(argv[1:])
     if argv and argv[0] == "sweep":
         # Likewise option-only grammar, dispatched before the artifact
         # parser.
@@ -129,6 +147,13 @@ def main(argv=None) -> int:
         "(figure4 / figure5 / overflow)",
     )
     parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        default=None,
+        help="write one windowed-metrics JSON artifact per measurement "
+        "point into DIR (figure4 / figure5 / overflow)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -156,7 +181,7 @@ def main(argv=None) -> int:
 
         results = run_figure4(
             thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed,
-            trace_out=args.trace_out, jobs=jobs,
+            trace_out=args.trace_out, metrics_out=args.metrics_out, jobs=jobs,
         )
         print(render_figure4(results))
         if args.chart:
@@ -187,7 +212,7 @@ def main(argv=None) -> int:
 
         policy_results = run_policy_comparison(
             thread_points=args.threads, cycle_limit=args.cycles, seed=args.seed,
-            trace_out=args.trace_out, jobs=jobs,
+            trace_out=args.trace_out, metrics_out=args.metrics_out, jobs=jobs,
         )
         print(render_policy(policy_results))
         if args.chart:
@@ -211,7 +236,8 @@ def main(argv=None) -> int:
         print(
             render_overflow(
                 run_overflow_study(
-                    cycle_limit=args.cycles, trace_out=args.trace_out, jobs=jobs
+                    cycle_limit=args.cycles, trace_out=args.trace_out,
+                    metrics_out=args.metrics_out, jobs=jobs,
                 )
             )
         )

@@ -114,6 +114,9 @@ class CellResult:
     #: Per-rung escalation counters from the run's RunResult (watchdog
     #: ladder always; degradation ladder when a controller was armed).
     escalations: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Windowed commit/abort series from the metrics hub, keyed by
+    #: series name (see repro.obs.metrics.TimeSeries.to_dict).
+    series: Dict[str, object] = dataclasses.field(default_factory=dict)
     invariant_checks: int = 0
     detail: str = ""
 
@@ -162,8 +165,11 @@ def _run_cell(
     ReproErrors, ``crash`` for everything else).
     """
     from repro.harness.runner import SYSTEMS
+    from repro.obs.metrics import MetricsHub
 
     machine = FlexTMMachine(small_test_params(threads))
+    hub = MetricsHub()
+    machine.set_metrics(hub)
     engine = None
     if spec is not None:
         engine = ChaosEngine(spec, stats=machine.stats)
@@ -186,6 +192,8 @@ def _run_cell(
         "aborts": 0,
         "cycles": 0,
         "aborts_by_kind": {},
+        "escalations": {},
+        "series": {},
         "injected": {},
         "watchdog": {},
         "invariant_checks": 0,
@@ -203,6 +211,10 @@ def _run_cell(
         out["cycles"] = result.cycles
         out["aborts_by_kind"] = dict(result.aborts_by_kind)
         out["escalations"] = dict(result.escalations)
+        out["series"] = {
+            name: hub.series(name).to_dict()
+            for name in ("tx.commits", "tx.aborts")
+        }
     except ReproError as error:
         out["error"] = f"{type(error).__name__}: {error}"
         out["error_kind"] = "repro"
@@ -273,7 +285,8 @@ def _classify(run: Dict[str, object], baseline: Dict[str, object],
         cycles=int(run["cycles"]),
         aborts_by_kind=dict(run["aborts_by_kind"]),
         watchdog=dict(run["watchdog"]),
-        escalations=dict(run.get("escalations", {})),
+        escalations=dict(run["escalations"]),
+        series=dict(run["series"]),
         invariant_checks=int(run["invariant_checks"]),
         detail=detail,
     )

@@ -88,10 +88,16 @@ class DegradeCell:
     commits: int = 0
     aborts: int = 0
     cycles: int = 0
+    #: Abort counts keyed by conflict kind (cause fidelity; mirrors the
+    #: chaos report so every harness schema carries the same keys).
+    aborts_by_kind: Dict[str, int] = dataclasses.field(default_factory=dict)
     #: Commits grouped by the committing thread's ladder rung.
     commits_by_rung: Dict[str, int] = dataclasses.field(default_factory=dict)
     #: Escalation counters from RunResult (ladder + watchdog).
     escalations: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: Windowed commit/abort series from the metrics hub, keyed by
+    #: series name (see repro.obs.metrics.TimeSeries.to_dict).
+    series: Dict[str, object] = dataclasses.field(default_factory=dict)
     #: Cycles from first escalation to the recovering commit.
     recovery: Dict[str, int] = dataclasses.field(default_factory=dict)
     detail: str = ""
@@ -116,8 +122,11 @@ def _run_degrade_cell(
 ) -> DegradeCell:
     """One ladder-armed instrumented run, classified."""
     from repro.harness.runner import SYSTEMS
+    from repro.obs.metrics import MetricsHub
 
     machine = FlexTMMachine(small_test_params(threads))
+    hub = MetricsHub()
+    machine.set_metrics(hub)
     chaos = ChaosEngine(profile_spec(profile, seed, backend_name), stats=machine.stats)
     machine.set_chaos(chaos)
     machine.set_invariants(InvariantChecker())
@@ -149,7 +158,12 @@ def _run_degrade_cell(
         out.commits = result.commits
         out.aborts = result.aborts
         out.cycles = result.cycles
+        out.aborts_by_kind = dict(result.aborts_by_kind)
         out.escalations = dict(result.escalations)
+        out.series = {
+            name: hub.series(name).to_dict()
+            for name in ("tx.commits", "tx.aborts")
+        }
     except ReproError as exc:
         error, error_kind = f"{type(exc).__name__}: {exc}", "repro"
     except Exception as exc:  # noqa: BLE001 — a crash IS the finding

@@ -55,15 +55,17 @@ def run_figure4(
     cycle_limit: int = 0,
     seed: int = 42,
     trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
     jobs: int = 1,
 ) -> Dict[str, List[Figure4Point]]:
     """Run the full Figure 4 sweep; returns points grouped by workload.
 
     ``trace_out`` names a directory that receives one Chrome trace per
-    measurement point (sparse sampling, coherence events off); traces
-    are written by whichever worker ran the point.  ``jobs > 1`` fans
-    the points (baselines included) out across processes — output is
-    bit-identical to the serial run.
+    measurement point (sparse sampling, coherence events off);
+    ``metrics_out`` likewise receives one windowed-metrics JSON
+    artifact per point.  Both are written by whichever worker ran the
+    point.  ``jobs > 1`` fans the points (baselines included) out
+    across processes — output is bit-identical to the serial run.
     """
     specs: List[PointSpec] = []
     for workload in workloads:
@@ -92,6 +94,8 @@ def run_figure4(
                         label=f"figure4:{workload}:{system}:{threads}t",
                         trace_dir=trace_out,
                         trace_name=f"figure4_{workload}_{system}_{threads}t",
+                        metrics_dir=metrics_out,
+                        metrics_name=f"figure4_{workload}_{system}_{threads}t",
                     )
                 )
     outcomes = iter(run_points(specs, jobs=jobs))

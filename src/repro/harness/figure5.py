@@ -47,13 +47,15 @@ def run_policy_comparison(
     cycle_limit: int = 0,
     seed: int = 42,
     trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
     jobs: int = 1,
 ) -> Dict[str, List[PolicyPoint]]:
     """Figure 5(a)-(d): FlexTM Eager vs Lazy.
 
     ``trace_out`` names a directory for one Chrome trace per point
-    (written by the worker that ran it); ``jobs > 1`` fans the points
-    out across processes with bit-identical output.
+    (written by the worker that ran it); ``metrics_out`` likewise
+    receives one windowed-metrics JSON artifact per point; ``jobs > 1``
+    fans the points out across processes with bit-identical output.
     """
     specs: List[PointSpec] = []
     for workload in workloads:
@@ -86,6 +88,8 @@ def run_policy_comparison(
                         label=f"figure5:{workload}:{mode.value}:{threads}t",
                         trace_dir=trace_out,
                         trace_name=f"figure5_{workload}_{mode.value}_{threads}t",
+                        metrics_dir=metrics_out,
+                        metrics_name=f"figure5_{workload}_{mode.value}_{threads}t",
                     )
                 )
     outcomes = iter(run_points(specs, jobs=jobs))

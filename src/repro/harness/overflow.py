@@ -60,6 +60,7 @@ def run_overflow_study(
     cycle_limit: int = 0,
     seeds: Sequence[int] = (42, 43, 44),
     trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
     jobs: int = 1,
 ) -> Dict[str, OverflowPoint]:
     """OT vs ideal, averaged over seeds, under lazy management.
@@ -90,6 +91,8 @@ def run_overflow_study(
                     label=f"overflow:{workload}:s{seed}:ot",
                     trace_dir=trace_out,
                     trace_name=f"overflow_{workload}_seed{seed}",
+                    metrics_dir=metrics_out,
+                    metrics_name=f"overflow_{workload}_seed{seed}",
                 )
             )
             specs.append(

@@ -77,6 +77,10 @@ class PointSpec:
     label: str = ""
     trace_dir: Optional[str] = None
     trace_name: Optional[str] = None
+    #: Metrics artifacts mirror traces: armed and written in the worker,
+    #: into ``metrics_dir/metrics_name.metrics.json``.
+    metrics_dir: Optional[str] = None
+    metrics_name: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -102,6 +106,7 @@ class PointOutcome:
     attempts: int = 1
     wall_time: float = 0.0
     trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
 
 
 def unwrap(outcome: "PointOutcome") -> RunResult:
@@ -138,7 +143,10 @@ def _execute_point(config: ExperimentConfig) -> RunResult:
 
 
 def _run_one(spec: PointSpec):
-    """Execute one point (in-process), returning (result, trace_path)."""
+    """Execute one point (in-process).
+
+    Returns ``(result, trace_path, metrics_path)``.
+    """
     config = spec.config
     tracer = None
     if spec.trace_dir:
@@ -146,6 +154,12 @@ def _run_one(spec: PointSpec):
 
         tracer = sweep_tracer()
         config = dataclasses.replace(config, tracer=tracer)
+    hub = None
+    if spec.metrics_dir:
+        from repro.harness.metrics import sweep_hub
+
+        hub = sweep_hub()
+        config = dataclasses.replace(config, metrics=hub)
     result = _execute_point(config)
     trace_path = None
     if tracer is not None:
@@ -156,14 +170,23 @@ def _run_one(spec: PointSpec):
         )
         # The tracer stays in the worker; results travel light.
         result.trace = None
-    return result, trace_path
+    metrics_path = None
+    if hub is not None:
+        from repro.harness.metrics import write_point_metrics
+
+        metrics_path = write_point_metrics(
+            hub, result, spec.metrics_dir, spec.metrics_name or spec.label or "point"
+        )
+        # Like the tracer: the hub stays in the worker.
+        result.metrics = None
+    return result, trace_path, metrics_path
 
 
 def _worker(conn, spec: PointSpec) -> None:
     """Child-process entry: run one point, ship the outcome, exit."""
     try:
-        result, trace_path = _run_one(spec)
-        conn.send(("ok", result, trace_path))
+        result, trace_path, metrics_path = _run_one(spec)
+        conn.send(("ok", result, trace_path, metrics_path))
     except BaseException as exc:  # noqa: BLE001 — everything becomes a row
         try:
             conn.send(
@@ -227,7 +250,7 @@ def _run_serial(specs, progress) -> List[PointOutcome]:
     for index, spec in enumerate(specs):
         started = time.perf_counter()
         try:
-            result, trace_path = _run_one(spec)
+            result, trace_path, metrics_path = _run_one(spec)
             outcome = PointOutcome(
                 index=index,
                 label=spec.label,
@@ -236,6 +259,7 @@ def _run_serial(specs, progress) -> List[PointOutcome]:
                 result=result,
                 wall_time=time.perf_counter() - started,
                 trace_path=trace_path,
+                metrics_path=metrics_path,
             )
         except Exception as exc:
             outcome = PointOutcome(
@@ -326,7 +350,7 @@ def _run_pool(specs, jobs, timeout, retries, progress) -> List[PointOutcome]:
                     code = entry.process.exitcode
                     retire(entry, "crash", f"worker died (exit code {code})")
                 elif message[0] == "ok":
-                    _, result, trace_path = message
+                    _, result, trace_path, metrics_path = message
                     finalize(
                         entry,
                         PointOutcome(
@@ -336,6 +360,7 @@ def _run_pool(specs, jobs, timeout, retries, progress) -> List[PointOutcome]:
                             status="ok",
                             result=result,
                             trace_path=trace_path,
+                            metrics_path=metrics_path,
                         ),
                     )
                 else:

@@ -96,6 +96,10 @@ class ExperimentConfig:
     #: Resilience: degradation-ladder parameters (None = no controller;
     #: controller-off runs are bit-identical to pre-resilience builds).
     degrade: Optional["DegradeSpec"] = None
+    #: Observability: attach a :class:`repro.obs.metrics.MetricsHub` to
+    #: collect windowed series and histograms (None = no metrics;
+    #: armed runs are bit-identical to unarmed runs).
+    metrics: Optional[object] = None
 
     def resolved_cycle_limit(self) -> int:
         return self.cycle_limit or default_cycle_limit()
@@ -115,6 +119,8 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
         machine.set_chaos(ChaosEngine(config.chaos, stats=machine.stats))
     if config.invariants:
         machine.set_invariants(InvariantChecker())
+    if config.metrics is not None:
+        machine.set_metrics(config.metrics)
     controller = None
     if config.degrade is not None:
         controller = ResilienceController(config.degrade)

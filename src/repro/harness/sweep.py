@@ -164,6 +164,22 @@ def _row(
     return row
 
 
+def _point_spec(config: ExperimentConfig, metrics_out: Optional[str]) -> PointSpec:
+    label = (
+        f"{config.workload}/{config.system}/{config.threads}t/"
+        f"{config.mode.value}/s{config.seed}"
+    )
+    return PointSpec(
+        config=config,
+        label=label,
+        metrics_dir=metrics_out,
+        metrics_name=(
+            f"sweep_{config.workload}_{config.system}_{config.threads}t_"
+            f"{config.mode.value}_s{config.seed}"
+        ) if metrics_out else None,
+    )
+
+
 def run_sweep(
     spec: SweepSpec,
     progress=None,
@@ -172,6 +188,7 @@ def run_sweep(
     retries: int = 1,
     bench_out: Optional[str] = None,
     pathology: bool = False,
+    metrics_out: Optional[str] = None,
 ) -> List[Dict[str, object]]:
     """Execute the sweep; returns one dict per configuration.
 
@@ -179,16 +196,11 @@ def run_sweep(
     ``progress`` keeps its historical ``progress(done, total)``
     signature.  ``bench_out`` additionally writes a
     ``BENCH_sweep.json`` wall-time document (see docs/PARALLEL.md).
+    ``metrics_out`` names a directory receiving one windowed-metrics
+    JSON artifact per point (row schema stays unchanged).
     """
     configs = list(spec.configs())
-    specs = [
-        PointSpec(
-            config=config,
-            label=f"{config.workload}/{config.system}/{config.threads}t/"
-            f"{config.mode.value}/s{config.seed}",
-        )
-        for config in configs
-    ]
+    specs = [_point_spec(config, metrics_out) for config in configs]
     callback = None
     if progress is not None:
         callback = lambda done, total, outcome: progress(done, total)
@@ -303,6 +315,9 @@ def run_sweep_command(argv=None) -> int:
                         help="write rows here instead of stdout")
     parser.add_argument("--bench-out", metavar="FILE",
                         help="write BENCH_sweep.json wall-time report here")
+    parser.add_argument("--metrics-out", metavar="DIR",
+                        help="write one windowed-metrics JSON artifact "
+                        "per point into DIR")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress on stderr")
     args = parser.parse_args(argv)
@@ -318,14 +333,7 @@ def run_sweep_command(argv=None) -> int:
         cycle_limit=args.cycles,
     )
     configs = list(spec.configs())
-    specs = [
-        PointSpec(
-            config=config,
-            label=f"{config.workload}/{config.system}/{config.threads}t/"
-            f"{config.mode.value}/s{config.seed}",
-        )
-        for config in configs
-    ]
+    specs = [_point_spec(config, args.metrics_out) for config in configs]
     jobs = effective_jobs(args.jobs)
     if not args.quiet:
         sys.stderr.write(

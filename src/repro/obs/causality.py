@@ -1,0 +1,237 @@
+"""Abort-causality analysis: the wounded-by DAG.
+
+PR 3 gave every abort a ``(by, kind)`` attribution — *which processor*
+wounded the victim and *which CST kind* the conflict was.  This module
+turns a run's stream of :class:`AbortRecord` entries into structure:
+
+* a **wounded-by DAG**: record A points at the wounder's own next abort
+  (if the transaction that killed A later died too, the damage chains);
+* **longest-chain extraction** with per-chain wasted-cycle accounting —
+  the "abort storm" view: one root conflict cascading through the
+  machine;
+* **windowed pathology annotators** that name the contention diseases
+  the progress-guarantee literature formalizes: *convoy* (one wounder
+  dominating a window's aborts), *friendly fire* (wounders that are
+  themselves wounded in the same window), *starvation* (one thread
+  absorbing a window's aborts).
+
+Everything here is pure, deterministic post-processing: sorted
+iteration orders, no clocks, no randomness, no simulator imports — the
+records come from :class:`~repro.obs.metrics.MetricsHub` (or a test's
+hand-built list) and the output feeds the dashboard and the metrics
+JSON artifact.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+#: Aborts below this count never flag a windowed pathology (noise floor).
+MIN_WINDOW_ABORTS = 6
+
+#: Fraction of a window's attributed aborts one wounder must own to
+#: flag a convoy.
+CONVOY_DOMINANCE = 0.5
+
+#: Fraction of a window's attributed aborts whose wounder must itself
+#: abort in-window to flag friendly fire.
+FRIENDLY_FIRE_FRACTION = 0.5
+
+
+@dataclasses.dataclass(frozen=True)
+class AbortRecord:
+    """One attributed abort, as observed by the metrics hub."""
+
+    cycle: int
+    thread: int
+    proc: int
+    #: Wounding processor (-1 when unattributed).
+    by: int
+    #: Conflict kind ("R-W", "W-R", "W-W", "SI", ... or "unattributed").
+    kind: str
+    #: Cycles burned by the doomed attempt (begin -> abort).
+    wasted_cycles: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "cycle": self.cycle,
+            "thread": self.thread,
+            "proc": self.proc,
+            "by": self.by,
+            "kind": self.kind,
+            "wasted_cycles": self.wasted_cycles,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class Chain:
+    """One maximal wounded-by chain (indices into the record list)."""
+
+    indices: tuple
+    length: int
+    total_wasted: int
+    start_cycle: int
+    end_cycle: int
+
+    def to_dict(self, records: Sequence[AbortRecord]) -> Dict[str, object]:
+        return {
+            "length": self.length,
+            "total_wasted_cycles": self.total_wasted,
+            "start_cycle": self.start_cycle,
+            "end_cycle": self.end_cycle,
+            "links": [records[i].to_dict() for i in self.indices],
+        }
+
+
+def build_edges(records: Sequence[AbortRecord]) -> List[Optional[int]]:
+    """The wounded-by DAG: ``edge[i]`` is the wounder's next abort.
+
+    Record ``i`` was wounded by processor ``records[i].by``; if that
+    processor's own transaction later aborts (at a cycle >= ``i``'s),
+    the earliest such record continues the chain.  Unattributed aborts
+    (``by < 0``) and wounders that never abort get ``None``.
+    """
+    by_proc: Dict[int, List[int]] = {}
+    order = sorted(range(len(records)), key=lambda i: (records[i].cycle, i))
+    for i in order:
+        by_proc.setdefault(records[i].proc, []).append(i)
+    cycles_of: Dict[int, List[int]] = {
+        proc: [records[i].cycle for i in indices]
+        for proc, indices in by_proc.items()
+    }
+    edges: List[Optional[int]] = [None] * len(records)
+    for i, record in enumerate(records):
+        if record.by < 0 or record.by not in by_proc:
+            continue
+        candidates = by_proc[record.by]
+        position = bisect.bisect_left(cycles_of[record.by], record.cycle)
+        while position < len(candidates) and candidates[position] == i:
+            position += 1
+        if position < len(candidates):
+            edges[i] = candidates[position]
+    return edges
+
+
+def extract_chains(
+    records: Sequence[AbortRecord], limit: int = 10
+) -> List[Chain]:
+    """Maximal chains through the DAG, longest (then costliest) first.
+
+    A chain starts at a record no edge points to and follows edges until
+    they run out.  Equal-cycle wound loops (possible when two processors
+    wound each other in the same cycle) are cut at the first revisit.
+    """
+    edges = build_edges(records)
+    targeted = {target for target in edges if target is not None}
+    chains: List[Chain] = []
+    for root in range(len(records)):
+        if root in targeted:
+            continue
+        indices: List[int] = []
+        seen = set()
+        cursor: Optional[int] = root
+        while cursor is not None and cursor not in seen:
+            seen.add(cursor)
+            indices.append(cursor)
+            cursor = edges[cursor]
+        chains.append(
+            Chain(
+                indices=tuple(indices),
+                length=len(indices),
+                total_wasted=sum(records[i].wasted_cycles for i in indices),
+                start_cycle=records[indices[0]].cycle,
+                end_cycle=records[indices[-1]].cycle,
+            )
+        )
+    chains.sort(key=lambda c: (-c.length, -c.total_wasted, c.start_cycle))
+    return chains[:limit]
+
+
+def longest_chain(records: Sequence[AbortRecord]) -> Optional[Chain]:
+    chains = extract_chains(records, limit=1)
+    return chains[0] if chains else None
+
+
+def annotate_pathologies(
+    records: Sequence[AbortRecord],
+    window_cycles: int,
+    commits_by_window: Optional[Dict[int, int]] = None,
+    min_aborts: int = MIN_WINDOW_ABORTS,
+) -> List[Dict[str, object]]:
+    """Name the contention diseases, window by window.
+
+    Returns one annotation dict per (window, pathology) hit, sorted by
+    window then pathology name.  ``commits_by_window`` (window index ->
+    commit count, e.g. from the hub's ``tx.commits`` series) sharpens
+    the convoy test: a window full of aborts *and* commits is healthy
+    churn, not a convoy.
+    """
+    if window_cycles <= 0:
+        raise ValueError("window_cycles must be positive")
+    commits_by_window = commits_by_window or {}
+    windows: Dict[int, List[AbortRecord]] = {}
+    for record in records:
+        windows.setdefault(record.cycle // window_cycles, []).append(record)
+    annotations: List[Dict[str, object]] = []
+    for window in sorted(windows):
+        aborts = windows[window]
+        if len(aborts) < min_aborts:
+            continue
+        start = window * window_cycles
+        commits = commits_by_window.get(window, 0)
+        attributed = [r for r in aborts if r.by >= 0]
+        # Convoy: one wounder owns the window and commits are scarce.
+        if attributed and len(aborts) > 2 * commits:
+            wounder_counts: Dict[int, int] = {}
+            for record in attributed:
+                wounder_counts[record.by] = wounder_counts.get(record.by, 0) + 1
+            top = max(sorted(wounder_counts), key=lambda p: wounder_counts[p])
+            if wounder_counts[top] > CONVOY_DOMINANCE * len(attributed):
+                annotations.append({
+                    "window": window,
+                    "start_cycle": start,
+                    "kind": "convoy",
+                    "detail": (
+                        f"proc {top} wounded {wounder_counts[top]} of "
+                        f"{len(attributed)} attributed aborts"
+                    ),
+                    "aborts": len(aborts),
+                    "commits": commits,
+                })
+        # Friendly fire: the wounders are themselves being wounded.
+        if attributed:
+            aborting_procs = {record.proc for record in aborts}
+            friendly = [r for r in attributed if r.by in aborting_procs]
+            if len(friendly) > FRIENDLY_FIRE_FRACTION * len(attributed):
+                annotations.append({
+                    "window": window,
+                    "start_cycle": start,
+                    "kind": "friendly-fire",
+                    "detail": (
+                        f"{len(friendly)} of {len(attributed)} attributed "
+                        "aborts were inflicted by threads that also aborted"
+                    ),
+                    "aborts": len(aborts),
+                    "commits": commits,
+                })
+        # Starvation: one thread absorbs the window's aborts.
+        victim_counts: Dict[int, int] = {}
+        for record in aborts:
+            victim_counts[record.thread] = victim_counts.get(record.thread, 0) + 1
+        for thread in sorted(victim_counts):
+            if victim_counts[thread] >= min_aborts:
+                annotations.append({
+                    "window": window,
+                    "start_cycle": start,
+                    "kind": "starvation",
+                    "detail": (
+                        f"thread {thread} aborted {victim_counts[thread]} "
+                        "times in one window"
+                    ),
+                    "aborts": len(aborts),
+                    "commits": commits,
+                })
+    annotations.sort(key=lambda a: (a["window"], a["kind"], a["detail"]))
+    return annotations

@@ -1,0 +1,273 @@
+"""Zero-dependency HTML dashboard for metrics artifacts.
+
+Renders one or more ``repro.metrics/v1`` JSON artifacts (built by
+:mod:`repro.harness.metrics`) into a single self-contained HTML page:
+inline CSS, inline SVG time series (no JavaScript, no external assets),
+an abort-chain table, the windowed pathology annotations, and a
+side-by-side per-backend comparison when several artifacts are given.
+
+Being self-contained is the point: the file travels as a CI artifact or
+an email attachment and renders anywhere.  Only stdlib ``html.escape``
+is used; the input dicts are treated as untrusted strings.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Sequence
+
+#: Series drawn as charts, in display order (missing ones are skipped).
+CHART_SERIES = (
+    "tx.commits",
+    "tx.aborts",
+    "tx.wasted_cycles",
+    "conflicts",
+    "stall_cycles",
+    "overflow.events",
+    "aou.alerts",
+    "pressure.sig_fill_pct",
+    "pressure.sig_fp_pct",
+    "pressure.ot_occupancy",
+    "pressure.cst_density",
+    "sched.switches",
+    "resilience.escalations",
+)
+
+#: Line colours cycled across artifacts in a comparison.
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 72em; color: #222; }
+h1 { border-bottom: 2px solid #1f77b4; padding-bottom: .2em; }
+h2 { margin-top: 2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: .3em .7em; text-align: right; }
+th { background: #f0f4f8; }
+td.l, th.l { text-align: left; }
+.chart { display: inline-block; margin: .5em 1em .5em 0; vertical-align: top; }
+.chart svg { border: 1px solid #ddd; background: #fcfcfc; }
+.chart .t { font-size: .85em; font-weight: 600; }
+.legend span { margin-right: 1.2em; font-size: .85em; }
+.legend i { display: inline-block; width: 1em; height: .6em;
+            margin-right: .3em; }
+.empty { color: #888; font-style: italic; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _polyline(points: List[List[int]], width: int, height: int,
+              x_min: int, x_max: int, y_max: int, color: str) -> str:
+    """One SVG polyline scaled into the chart box."""
+    if not points:
+        return ""
+    span_x = max(1, x_max - x_min)
+    span_y = max(1, y_max)
+    coords = []
+    for x, y in points:
+        px = (x - x_min) / span_x * (width - 8) + 4
+        py = height - 4 - (y / span_y) * (height - 8)
+        coords.append(f"{px:.1f},{py:.1f}")
+    return (
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+        f'points="{" ".join(coords)}"/>'
+    )
+
+
+def _chart(name: str, per_artifact: List[List[List[int]]],
+           width: int = 320, height: int = 120) -> str:
+    """One labelled SVG chart overlaying every artifact's series."""
+    all_points = [p for points in per_artifact for p in points]
+    if not all_points:
+        return ""
+    x_min = min(p[0] for p in all_points)
+    x_max = max(p[0] for p in all_points)
+    y_max = max(p[1] for p in all_points)
+    lines = "".join(
+        _polyline(points, width, height, x_min, x_max, y_max,
+                  PALETTE[i % len(PALETTE)])
+        for i, points in enumerate(per_artifact)
+    )
+    return (
+        '<div class="chart">'
+        f'<div class="t">{_esc(name)} (peak {_esc(y_max)})</div>'
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">{lines}</svg>'
+        "</div>"
+    )
+
+
+def _headline_table(artifacts: Sequence[Dict]) -> str:
+    rows = []
+    for i, artifact in enumerate(artifacts):
+        run = artifact.get("run", {})
+        totals = artifact.get("totals", {})
+        label = run.get("label") or run.get("system") or f"run {i}"
+        rows.append(
+            "<tr>"
+            f'<td class="l"><i style="background:{PALETTE[i % len(PALETTE)]};'
+            f'display:inline-block;width:1em;height:.6em"></i> '
+            f"{_esc(label)}</td>"
+            f"<td>{_esc(totals.get('cycles', '-'))}</td>"
+            f"<td>{_esc(totals.get('commits', '-'))}</td>"
+            f"<td>{_esc(totals.get('aborts', '-'))}</td>"
+            f"<td>{_esc(round(totals.get('throughput', 0.0), 2))}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><tr>"
+        '<th class="l">run</th><th>cycles</th><th>commits</th>'
+        "<th>aborts</th><th>commits/Mcycle</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _abort_kind_table(artifacts: Sequence[Dict]) -> str:
+    kinds = sorted({
+        kind
+        for artifact in artifacts
+        for kind in artifact.get("totals", {}).get("aborts_by_kind", {})
+    })
+    if not kinds:
+        return '<p class="empty">no aborts recorded</p>'
+    header = '<tr><th class="l">run</th>' + "".join(
+        f"<th>{_esc(kind)}</th>" for kind in kinds
+    ) + "</tr>"
+    rows = []
+    for i, artifact in enumerate(artifacts):
+        run = artifact.get("run", {})
+        by_kind = artifact.get("totals", {}).get("aborts_by_kind", {})
+        label = run.get("label") or f"run {i}"
+        rows.append(
+            f'<tr><td class="l">{_esc(label)}</td>'
+            + "".join(f"<td>{_esc(by_kind.get(kind, 0))}</td>" for kind in kinds)
+            + "</tr>"
+        )
+    return "<table>" + header + "".join(rows) + "</table>"
+
+
+def _histogram_table(artifact: Dict) -> str:
+    histograms = artifact.get("histograms", {})
+    if not histograms:
+        return '<p class="empty">no histograms</p>'
+    rows = []
+    for name in sorted(histograms):
+        h = histograms[name]
+        rows.append(
+            f'<tr><td class="l">{_esc(name)}</td>'
+            f"<td>{_esc(h.get('count', 0))}</td>"
+            f"<td>{_esc(h.get('mean', 0))}</td>"
+            f"<td>{_esc(h.get('p50', 0))}</td>"
+            f"<td>{_esc(h.get('p95', 0))}</td>"
+            f"<td>{_esc(h.get('p99', 0))}</td>"
+            f"<td>{_esc(h.get('max', 0))}</td></tr>"
+        )
+    return (
+        '<table><tr><th class="l">histogram</th><th>n</th><th>mean</th>'
+        "<th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>"
+        + "".join(rows) + "</table>"
+    )
+
+
+def _chain_table(artifact: Dict) -> str:
+    chains = artifact.get("causality", {}).get("chains", [])
+    if not chains:
+        return '<p class="empty">no wounded-by chains</p>'
+    rows = []
+    for chain in chains:
+        path = " &rarr; ".join(
+            f"t{_esc(link.get('thread'))}"
+            f"@{_esc(link.get('cycle'))}({_esc(link.get('kind'))})"
+            for link in chain.get("links", [])
+        )
+        rows.append(
+            f"<tr><td>{_esc(chain.get('length'))}</td>"
+            f"<td>{_esc(chain.get('total_wasted_cycles'))}</td>"
+            f"<td>{_esc(chain.get('start_cycle'))}</td>"
+            f"<td>{_esc(chain.get('end_cycle'))}</td>"
+            f'<td class="l">{path}</td></tr>'
+        )
+    return (
+        "<table><tr><th>length</th><th>wasted cycles</th><th>start</th>"
+        '<th>end</th><th class="l">victims (thread@cycle(kind))</th></tr>'
+        + "".join(rows) + "</table>"
+    )
+
+
+def _pathology_table(artifact: Dict) -> str:
+    pathologies = artifact.get("causality", {}).get("pathologies", [])
+    if not pathologies:
+        return '<p class="empty">no windowed pathologies flagged</p>'
+    rows = []
+    for p in pathologies:
+        rows.append(
+            f"<tr><td>{_esc(p.get('start_cycle'))}</td>"
+            f'<td class="l">{_esc(p.get("kind"))}</td>'
+            f"<td>{_esc(p.get('aborts'))}</td>"
+            f"<td>{_esc(p.get('commits'))}</td>"
+            f'<td class="l">{_esc(p.get("detail"))}</td></tr>'
+        )
+    return (
+        '<table><tr><th>window start</th><th class="l">pathology</th>'
+        '<th>aborts</th><th>commits</th><th class="l">detail</th></tr>'
+        + "".join(rows) + "</table>"
+    )
+
+
+def render_dashboard(artifacts: Sequence[Dict],
+                     title: str = "FlexTM run dashboard") -> str:
+    """Render metrics artifacts as one self-contained HTML page."""
+    if not artifacts:
+        raise ValueError("at least one artifact is required")
+    legend = "".join(
+        f'<span><i style="background:{PALETTE[i % len(PALETTE)]}"></i>'
+        f"{_esc(a.get('run', {}).get('label') or f'run {i}')}</span>"
+        for i, a in enumerate(artifacts)
+    )
+    charts = []
+    names = list(CHART_SERIES) + sorted(
+        name
+        for artifact in artifacts
+        for name in artifact.get("series", {})
+        if name not in CHART_SERIES
+    )
+    seen = set()
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        per_artifact = [
+            artifact.get("series", {}).get(name, {}).get("points", [])
+            for artifact in artifacts
+        ]
+        chart = _chart(name, per_artifact)
+        if chart:
+            charts.append(chart)
+    sections = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        f'<div class="legend">{legend}</div>',
+        "<h2>Headline</h2>", _headline_table(artifacts),
+        "<h2>Aborts by kind</h2>", _abort_kind_table(artifacts),
+        "<h2>Time series</h2>",
+        "".join(charts) if charts else '<p class="empty">no series</p>',
+    ]
+    for i, artifact in enumerate(artifacts):
+        run = artifact.get("run", {})
+        label = run.get("label") or f"run {i}"
+        sections.extend([
+            f"<h2>Latency &amp; cost distributions — {_esc(label)}</h2>",
+            _histogram_table(artifact),
+            f"<h2>Wounded-by chains — {_esc(label)}</h2>",
+            _chain_table(artifact),
+            f"<h2>Windowed pathologies — {_esc(label)}</h2>",
+            _pathology_table(artifact),
+        ])
+    sections.append("</body></html>")
+    return "\n".join(sections)

@@ -65,6 +65,8 @@ EVENT_REGISTRY: Dict[str, str] = {
     "degrade_irrevocable_drain": "in-flight peer force-aborted during a grant",
     "degrade_irrevocable_release": "serial-irrevocable token released",
     "degrade_recover": "streak cleared; thread returned to the HEALTHY rung",
+    # -- metrics hub (Tracer.metrics)
+    "metrics_sample": "periodic pressure sample (sig fill/FP, OT, CST density)",
 }
 
 #: Every registered kind, for membership tests and docs/tests.
@@ -81,6 +83,7 @@ EMIT_PREFIXES: Mapping[str, str] = {
     "coherence": "",
     "watchdog": "watchdog_",
     "degrade": "degrade_",
+    "metrics": "metrics_",
 }
 
 #: Tracer methods whose recorded kind is fixed (no name argument).
@@ -103,6 +106,7 @@ KIND_ARG_INDEX: Mapping[str, int] = {
     "coherence": 2,
     "watchdog": 1,
     "degrade": 1,
+    "metrics": 1,
 }
 
 #: Keyword name of the kind argument (emit sites may pass it by name).
@@ -113,6 +117,7 @@ KIND_ARG_NAME: Mapping[str, str] = {
     "coherence": "msg",
     "watchdog": "what",
     "degrade": "what",
+    "metrics": "what",
 }
 
 

@@ -38,6 +38,8 @@ Event taxonomy (the ``kind`` field of :class:`TraceEvent`):
 ``degrade_*``             degradation-ladder actions (escalate / policy_flip /
                           rotate / irrevocable_grant / irrevocable_drain /
                           irrevocable_release / recover)
+``metrics_*``             metrics-hub pressure samples (signature fill / FP /
+                          OT occupancy / CST density, cycle-stamped)
 ========================  =====================================================
 """
 
@@ -151,6 +153,12 @@ class Tracer:
 
     def degrade(self, cycle: int, what: str, **data) -> None:
         """Resilience-controller actions (escalate/flip/rotate/irrevocable)."""
+        pass
+
+    # -- metrics hub -------------------------------------------------------------
+
+    def metrics(self, cycle: int, what: str, **data) -> None:
+        """Metrics-hub observations (periodic pressure samples)."""
         pass
 
     # -- run boundary ----------------------------------------------------------
@@ -274,6 +282,12 @@ class EventTracer(Tracer):
 
     def degrade(self, cycle, what, **data):
         self._record(TraceEvent(f"degrade_{what}", cycle, proc=-1,
+                                data=dict(data) if data else None))
+
+    # -- metrics hub -------------------------------------------------------------
+
+    def metrics(self, cycle, what, **data):
+        self._record(TraceEvent(f"metrics_{what}", cycle, proc=-1,
                                 data=dict(data) if data else None))
 
     # -- run boundary ----------------------------------------------------------

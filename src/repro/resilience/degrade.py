@@ -359,6 +359,9 @@ class ResilienceController:
             self.machine.tracer.degrade(
                 now, "escalate", thread=tid, rung=new.name.lower(), streak=streak
             )
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.on_escalation(now, tid, new.name.lower())
         if new is Rung.BOOSTED:
             self._boosted.add(tid)
             self.counters["boosts"] += 1
@@ -406,3 +409,10 @@ class ResilienceController:
         for rung, commits in self.commits_by_rung.items():
             out[f"commits_{rung}"] = commits
         return out
+
+    def rung_census(self) -> Dict[str, int]:
+        """Threads currently on each rung (sampled by the metrics hub)."""
+        census = {rung.name.lower(): 0 for rung in Rung}
+        for rung in self._rungs.values():
+            census[rung.name.lower()] += 1
+        return census

@@ -51,6 +51,9 @@ class RunResult:
     #: The run's EventTracer when one was attached (None otherwise).
     #: Excluded from comparison/repr: tracing never changes the numbers.
     trace: Optional[object] = dataclasses.field(default=None, compare=False, repr=False)
+    #: The run's MetricsHub when one was armed (None otherwise).
+    #: Excluded from comparison/repr for the same reason as ``trace``.
+    metrics: Optional[object] = dataclasses.field(default=None, compare=False, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -123,6 +126,7 @@ class Scheduler:
             raise SchedulerError("cycle_limit must be positive")
         invariants = self.machine.invariants
         resilience = self.machine.resilience
+        metrics = self.machine.metrics
         steps = 0
         while True:
             proc = self._pick_processor(cycle_limit)
@@ -134,6 +138,8 @@ class Scheduler:
                 self.watchdog.observe(self)
             if resilience is not None:
                 resilience.on_step(self)
+            if metrics is not None:
+                metrics.on_step(self)
             if invariants is not None and steps % invariants.check_interval == 0:
                 invariants.check_machine(self.machine)
         if invariants is not None:
@@ -247,6 +253,11 @@ class Scheduler:
                 proc, self.machine.processors[proc].clock.now, "preempt",
                 thread.thread_id,
             )
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.on_sched(
+                proc, self.machine.processors[proc].clock.now, "preempt"
+            )
         thread.saved_ctx = thread.backend.suspend(thread)
         self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
         self.machine.stats.counter("ctxsw.switches").increment()
@@ -265,6 +276,11 @@ class Scheduler:
             tracer.sched(
                 proc, self.machine.processors[proc].clock.now, "yield",
                 thread.thread_id,
+            )
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.on_sched(
+                proc, self.machine.processors[proc].clock.now, "yield"
             )
         thread.saved_ctx = thread.backend.suspend(thread)
         self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
@@ -292,6 +308,9 @@ class Scheduler:
             tracer.sched(
                 proc, clock.now, "dispatch", thread.thread_id, status=status or ""
             )
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.on_sched(proc, clock.now, "dispatch")
         slot.slice_start = clock.now
         self._running[proc] = slot
 
@@ -303,6 +322,11 @@ class Scheduler:
             tracer.sched(
                 proc, self.machine.processors[proc].clock.now, "retire",
                 slot.thread.thread_id,
+            )
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.on_sched(
+                proc, self.machine.processors[proc].clock.now, "retire"
             )
         self._running.pop(proc, None)
         if self._ready:
@@ -331,6 +355,9 @@ class Scheduler:
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.finalize([proc.clock.now for proc in self.machine.processors])
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.finalize([proc.clock.now for proc in self.machine.processors])
         return RunResult(
             cycles=elapsed,
             commits=commits,
@@ -350,4 +377,5 @@ class Scheduler:
             aborts_by_kind=dict(sorted(aborts_by_kind.items())),
             escalations=escalations,
             trace=tracer if tracer.enabled else None,
+            metrics=metrics,
         )

@@ -104,6 +104,12 @@ class TxThread:
                         self.processor, self.thread_id, self._now(),
                         self.backend.name, incarnation,
                     )
+                metrics = self._metrics()
+                if metrics is not None:
+                    metrics.on_begin(
+                        self.processor if self.processor is not None else -1,
+                        self.thread_id, self._now(),
+                    )
                 if resilience is not None:
                     resilience.on_attempt(self, self._now())
                 yield from self.backend.begin(self)
@@ -115,6 +121,11 @@ class TxThread:
                     resilience.on_commit(self, self._now())
                 if tracer.enabled:
                     tracer.tx_commit(self.processor, self.thread_id, self._now())
+                if metrics is not None:
+                    metrics.on_commit(
+                        self.processor if self.processor is not None else -1,
+                        self.thread_id, self._now(),
+                    )
                 return
             except TransactionAborted as abort:
                 self.in_transaction = False
@@ -140,6 +151,12 @@ class TxThread:
                         by=by,
                         conflict=conflict,
                     )
+                metrics = self._metrics()
+                if metrics is not None:
+                    metrics.on_abort(
+                        self.processor if self.processor is not None else -1,
+                        self.thread_id, self._now(), by, key,
+                    )
                 if self.abort_work is not None:
                     yield from self.abort_work(ctx)
                     self.nontx_items += 1
@@ -150,6 +167,8 @@ class TxThread:
                     yield ("work", backoff)
                     if tracer.enabled and self.processor is not None:
                         tracer.stall(self.processor, self._now(), backoff)
+                    if metrics is not None and self.processor is not None:
+                        metrics.on_stall(self.processor, self._now(), backoff)
 
     def _tracer(self):
         machine = getattr(self.backend, "machine", None)
@@ -158,6 +177,10 @@ class TxThread:
     def _resilience(self):
         machine = getattr(self.backend, "machine", None)
         return machine.resilience if machine is not None else None
+
+    def _metrics(self):
+        machine = getattr(self.backend, "machine", None)
+        return machine.metrics if machine is not None else None
 
     def _now(self) -> int:
         """The owning processor's current cycle (0 when descheduled)."""

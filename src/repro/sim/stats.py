@@ -3,11 +3,16 @@
 Components register named :class:`Counter` and :class:`Histogram`
 instances with a :class:`StatsRegistry`; harnesses snapshot the registry
 to produce the paper's tables.
+
+Percentiles delegate to :func:`repro.obs.metrics.nearest_rank` so the
+whole repo answers order-statistic queries with one rule.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Tuple
+
+from repro.obs.metrics import nearest_rank
 
 
 class Counter:
@@ -69,13 +74,7 @@ class Histogram:
 
     def percentile(self, fraction: float) -> int:
         """Nearest-rank percentile; ``fraction`` in [0, 1]."""
-        if not 0.0 <= fraction <= 1.0:
-            raise ValueError("fraction must be within [0, 1]")
-        if not self._samples:
-            return 0
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-        return ordered[index]
+        return nearest_rank(sorted(self._samples), fraction)
 
     @property
     def median(self) -> int:

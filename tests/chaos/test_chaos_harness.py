@@ -23,6 +23,8 @@ def _run(**overrides):
         "aborts": 3,
         "cycles": 1000,
         "aborts_by_kind": {},
+        "escalations": {},
+        "series": {},
         "injected": {"coherence.drop": 2},
         "watchdog": {},
         "invariant_checks": 5,

@@ -1,0 +1,98 @@
+"""The ``repro.harness metrics`` CLI and per-point ``--metrics-out``."""
+
+import json
+
+from repro.harness.metrics import (
+    METRICS_SCHEMA,
+    compare_artifacts,
+    run_metrics_command,
+    validate_metrics_artifact,
+)
+from repro.harness.sweep import SweepSpec, run_sweep
+
+
+def _run(tmp_path, seed, stem):
+    json_path = tmp_path / f"{stem}.json"
+    html_path = tmp_path / f"{stem}.html"
+    code = run_metrics_command([
+        "HashTable", "FlexTM", "--threads", "2", "--cycles", "20000",
+        "--seed", str(seed),
+        "--json-out", str(json_path), "--html-out", str(html_path),
+    ])
+    assert code == 0
+    return json_path, html_path
+
+
+def test_metrics_run_writes_valid_artifact_and_dashboard(tmp_path, capsys):
+    json_path, html_path = _run(tmp_path, seed=42, stem="a")
+    out = capsys.readouterr().out
+    assert "commits" in out
+    document = json.loads(json_path.read_text())
+    assert document["schema"] == METRICS_SCHEMA
+    assert validate_metrics_artifact(document) is None
+    assert document["totals"]["commits"] > 0
+    assert "tx.commits" in document["series"]
+    html = html_path.read_text()
+    assert html.lstrip().startswith("<!DOCTYPE html>")
+    assert "<svg" in html
+
+
+def test_compare_identical_artifacts_exits_clean(tmp_path, capsys):
+    path_a, _ = _run(tmp_path, seed=42, stem="a")
+    path_b, _ = _run(tmp_path, seed=42, stem="b")
+    assert json.loads(path_a.read_text()) == json.loads(path_b.read_text())
+    code = run_metrics_command(["compare", str(path_a), str(path_b)])
+    assert code == 0
+
+
+def test_compare_flags_divergent_windows(tmp_path, capsys):
+    path_a, _ = _run(tmp_path, seed=42, stem="a")
+    path_b, _ = _run(tmp_path, seed=7, stem="b")
+    capsys.readouterr()
+    report = tmp_path / "diff.json"
+    code = run_metrics_command([
+        "compare", str(path_a), str(path_b), "--json-out", str(report),
+    ])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "diverg" in out
+    document = json.loads(report.read_text())
+    assert document["schema"] == "repro.metrics_compare/v1"
+    assert document["divergences"]
+    kinds = {d["kind"] for d in document["divergences"]}
+    assert kinds <= {"totals", "series"}
+
+
+def test_compare_artifacts_reports_window_starts():
+    base = {
+        "totals": {"commits": 5, "aborts": 1},
+        "series": {"tx.commits": {"points": [[0, 3], [100, 2]]}},
+    }
+    other = {
+        "totals": {"commits": 5, "aborts": 2},
+        "series": {"tx.commits": {"points": [[0, 3], [100, 7]]}},
+    }
+    divergences = compare_artifacts(base, other)
+    assert {"kind": "totals", "name": "aborts", "a": 1, "b": 2} in [
+        {k: d[k] for k in ("kind", "name", "a", "b")} for d in divergences
+    ]
+    series = [d for d in divergences if d["kind"] == "series"]
+    assert series and series[0]["window_start"] == 100
+
+
+def test_sweep_metrics_out_writes_one_artifact_per_point(tmp_path):
+    out_dir = tmp_path / "metrics"
+    spec = SweepSpec(
+        workloads=["HashTable"], systems=["CGL", "FlexTM"],
+        thread_counts=[2], seeds=[42], cycle_limit=20_000,
+    )
+    rows = run_sweep(spec, metrics_out=str(out_dir))
+    assert len(rows) == 2
+    artifacts = sorted(p.name for p in out_dir.iterdir())
+    assert artifacts == [
+        "sweep_HashTable_CGL_2t_eager_s42.json",
+        "sweep_HashTable_FlexTM_2t_eager_s42.json",
+    ]
+    for name in artifacts:
+        document = json.loads((out_dir / name).read_text())
+        assert validate_metrics_artifact(document) is None

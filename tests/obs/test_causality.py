@@ -1,0 +1,195 @@
+"""The wounded-by DAG: edges, chain extraction, pathology annotators.
+
+All inputs are hand-built :class:`AbortRecord` lists — the module is
+pure post-processing, so synthetic streams pin its behavior exactly.
+"""
+
+import pytest
+
+from repro.obs.causality import (
+    AbortRecord,
+    annotate_pathologies,
+    build_edges,
+    extract_chains,
+    longest_chain,
+)
+
+
+def _rec(cycle, thread=0, proc=0, by=-1, kind="W-W", wasted=10):
+    return AbortRecord(cycle=cycle, thread=thread, proc=proc, by=by,
+                       kind=kind, wasted_cycles=wasted)
+
+
+# -- build_edges ---------------------------------------------------------------
+
+
+def test_edge_follows_wounders_next_abort():
+    records = [
+        _rec(100, proc=0, by=1),   # wounded by proc 1 ...
+        _rec(200, proc=1, by=2),   # ... which aborts next here
+        _rec(300, proc=2, by=-1),  # ... whose wounder aborts here
+    ]
+    assert build_edges(records) == [1, 2, None]
+
+
+def test_unattributed_abort_has_no_edge():
+    records = [_rec(100, proc=0, by=-1)]
+    assert build_edges(records) == [None]
+
+
+def test_wounder_that_never_aborts_has_no_edge():
+    records = [_rec(100, proc=0, by=7)]
+    assert build_edges(records) == [None]
+
+
+def test_edge_skips_self_at_equal_cycle():
+    # Proc 0 is wounded by proc 0's *transaction* bookkeeping quirk:
+    # the earliest candidate at the same cycle is the record itself and
+    # must be skipped.
+    records = [_rec(100, proc=0, by=0), _rec(100, proc=0, by=-1)]
+    assert build_edges(records) == [1, None]
+
+
+def test_edge_picks_earliest_abort_at_or_after_victim():
+    records = [
+        _rec(500, proc=1, by=-1),  # wounder aborted *before* the victim
+        _rec(600, proc=0, by=1),
+        _rec(700, proc=1, by=-1),  # earliest at-or-after 600
+        _rec(800, proc=1, by=-1),
+    ]
+    assert build_edges(records)[1] == 2
+
+
+# -- chains --------------------------------------------------------------------
+
+
+def test_chains_are_maximal_and_sorted_longest_first():
+    records = [
+        _rec(100, proc=0, by=1, wasted=5),
+        _rec(200, proc=1, by=2, wasted=6),
+        _rec(300, proc=2, by=-1, wasted=7),
+        _rec(50, proc=5, by=-1, wasted=99),  # isolated singleton
+    ]
+    chains = extract_chains(records)
+    assert [c.length for c in chains] == [3, 1]
+    top = chains[0]
+    assert top.indices == (0, 1, 2)
+    assert top.total_wasted == 18
+    assert (top.start_cycle, top.end_cycle) == (100, 300)
+    assert longest_chain(records) == top
+
+
+def test_chain_ties_break_on_wasted_then_start_cycle():
+    records = [
+        _rec(100, proc=0, wasted=1),
+        _rec(100, proc=1, wasted=9),
+    ]
+    chains = extract_chains(records)
+    assert chains[0].indices == (1,)  # costlier singleton first
+
+
+def test_mutual_same_cycle_wounds_are_loop_cut():
+    # Procs 0 and 1 wound each other at the same cycle: the edge walk
+    # must terminate at the first revisit, not spin.
+    records = [
+        _rec(100, proc=0, by=1),
+        _rec(100, proc=1, by=0),
+    ]
+    chains = extract_chains(records)
+    # Both records are targeted, so neither is a root — no chain at all
+    # beats an infinite loop.
+    assert all(chain.length <= 2 for chain in chains)
+
+
+def test_chain_limit_caps_output():
+    records = [_rec(100 * i, proc=i) for i in range(20)]
+    assert len(extract_chains(records, limit=3)) == 3
+
+
+def test_chain_to_dict_inlines_links():
+    records = [_rec(100, proc=0, by=1), _rec(200, proc=1)]
+    chain = longest_chain(records)
+    doc = chain.to_dict(records)
+    assert doc["length"] == 2
+    assert [link["cycle"] for link in doc["links"]] == [100, 200]
+
+
+def test_no_records_means_no_chain():
+    assert extract_chains([]) == []
+    assert longest_chain([]) is None
+
+
+# -- pathology annotators ------------------------------------------------------
+
+
+def _convoy_window(commits=None):
+    # Six aborts in window 0 (cycles 0..999), all wounded by proc 9,
+    # spread over distinct victim threads so starvation stays quiet.
+    records = [
+        _rec(cycle=100 * i, thread=i, proc=i, by=9) for i in range(6)
+    ]
+    return annotate_pathologies(records, window_cycles=1000,
+                                commits_by_window=commits)
+
+
+def test_convoy_flagged_when_one_wounder_dominates():
+    annotations = _convoy_window()
+    kinds = [a["kind"] for a in annotations]
+    assert "convoy" in kinds
+    convoy = next(a for a in annotations if a["kind"] == "convoy")
+    assert convoy["window"] == 0
+    assert convoy["aborts"] == 6
+    assert "proc 9" in convoy["detail"]
+
+
+def test_commits_suppress_convoy():
+    # Same abort stream, but the window also committed plenty: churn,
+    # not a convoy (aborts must exceed 2x commits).
+    annotations = _convoy_window(commits={0: 3})
+    assert all(a["kind"] != "convoy" for a in annotations)
+
+
+def test_friendly_fire_flagged_when_wounders_also_abort():
+    # Procs 0 and 1 wound each other repeatedly: every attributed abort
+    # is inflicted by a proc that itself aborted in-window.
+    records = []
+    for i in range(3):
+        records.append(_rec(100 * i, thread=0, proc=0, by=1))
+        records.append(_rec(100 * i + 50, thread=1, proc=1, by=0))
+    annotations = annotate_pathologies(records, window_cycles=1000)
+    assert any(a["kind"] == "friendly-fire" for a in annotations)
+
+
+def test_starvation_flagged_for_single_victim_thread():
+    records = [_rec(100 * i, thread=3, proc=3, by=-1) for i in range(6)]
+    annotations = annotate_pathologies(records, window_cycles=1000)
+    assert [a["kind"] for a in annotations] == ["starvation"]
+    assert "thread 3" in annotations[0]["detail"]
+
+
+def test_noise_floor_suppresses_sparse_windows():
+    records = [_rec(100 * i, thread=3, proc=3, by=9) for i in range(5)]
+    assert annotate_pathologies(records, window_cycles=1000) == []
+
+
+def test_windows_are_independent():
+    # Six aborts split across two windows: neither crosses the floor.
+    records = [_rec(400 * i, thread=3, proc=3, by=9) for i in range(6)]
+    assert annotate_pathologies(records, window_cycles=1000) == []
+
+
+def test_annotations_sorted_by_window_then_kind():
+    records = []
+    # Window 1: starvation only (thread 5, unattributed).
+    records += [_rec(1000 + 10 * i, thread=5, proc=5) for i in range(6)]
+    # Window 0: convoy + starvation (thread 2 wounded by proc 9).
+    records += [_rec(10 * i, thread=2, proc=2, by=9) for i in range(6)]
+    annotations = annotate_pathologies(records, window_cycles=1000)
+    assert [(a["window"], a["kind"]) for a in annotations] == [
+        (0, "convoy"), (0, "starvation"), (1, "starvation"),
+    ]
+
+
+def test_rejects_nonpositive_window():
+    with pytest.raises(ValueError):
+        annotate_pathologies([], window_cycles=0)

@@ -1,0 +1,51 @@
+"""Adversarial schedule engine (the robustness conformance tentpole).
+
+Random fault schedules (``repro.chaos``) show the simulator survives
+*likely* trouble; this package drives it through the *specific*
+worst-case interleavings TM theory names.  Three layers:
+
+* :mod:`repro.adversary.script` — the :class:`ScheduleScript` DSL:
+  seeded, JSON-serializable, replay-bit-identical scripts of per-thread
+  ``run`` / ``preempt`` / ``place`` / ``pin`` / ``wound`` / ``stall``
+  directives;
+* :mod:`repro.adversary.director` — the :class:`ScheduleDirector` that
+  executes a script through the scheduler's first-class control
+  primitives (:meth:`~repro.runtime.scheduler.Scheduler.park` and
+  friends), then hands control back to the default clock policy;
+* :mod:`repro.adversary.probes` — the :class:`OpacityProbe` shadow-state
+  oracle: observes every transactional read against the exact committed
+  history and flags any zombie that saw an inconsistent snapshot;
+* :mod:`repro.adversary.schedules` / :mod:`repro.adversary.conformance`
+  — the named-schedule catalog from the Kuznetsov/Ravi theory papers
+  and the per-(backend, schedule) verdict machinery behind
+  ``python -m repro.harness adversary``.
+
+See docs/ADVERSARY.md.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.conformance import (
+    DEFAULT_CYCLE_LIMIT,
+    ScheduleCell,
+    run_adversary_matrix,
+    run_schedule_cell,
+)
+from repro.adversary.director import ScheduleDirector
+from repro.adversary.probes import OpacityProbe, OpacityViolation
+from repro.adversary.schedules import SCHEDULES, ScheduleSpec
+from repro.adversary.script import ScheduleScript, Step
+
+__all__ = [
+    "DEFAULT_CYCLE_LIMIT",
+    "OpacityProbe",
+    "OpacityViolation",
+    "SCHEDULES",
+    "ScheduleCell",
+    "ScheduleDirector",
+    "ScheduleScript",
+    "ScheduleSpec",
+    "Step",
+    "run_adversary_matrix",
+    "run_schedule_cell",
+]

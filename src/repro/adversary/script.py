@@ -1,0 +1,188 @@
+"""The ScheduleScript DSL: replayable, serializable interleavings.
+
+A script is an ordered list of :class:`Step` directives interpreted by
+the :class:`~repro.adversary.director.ScheduleDirector`.  Directives
+are deliberately tiny — one action, one target thread, one bound — so
+a script reads like the schedule diagrams in the TM-theory papers it
+encodes::
+
+    ScheduleScript(
+        name="zombie-probe",
+        steps=(
+            Step.run(0, until="ops", count=12),   # T0 reads A
+            Step.preempt(0),                      # ... and is descheduled
+            Step.run(1, until="commit"),          # T1 commits A and B
+            Step.place(0, processor=0),           # resume T0 where it was
+            Step.run(0, until="ops", count=12),   # zombie T0 reads B
+            Step.wound(0),                        # adversary aborts T0
+            Step.run(0, until="done"),
+            Step.run(1, until="done"),
+        ),
+    )
+
+Scripts contain no randomness: the interpreter consumes no RNG stream,
+so one script replays bit-identically — the property the determinism
+tests lock.  The ``seed`` field parameterizes the *workload* a harness
+builds around the script (write values, body RNG), not the schedule
+itself.  ``to_json``/``from_json`` round-trip losslessly.
+
+Directive semantics (interpreted by the director):
+
+``run``
+    step the target thread until the ``until`` condition holds:
+    ``ops`` (``count`` scheduler steps), ``begin`` (inside a
+    transaction), ``commit`` / ``abort`` (``count`` new ones),
+    ``cycle`` (global cycle >= ``count``) or ``done`` (thread
+    retired).  Every run directive carries a ``budget`` of scheduler
+    steps so a blocked thread (a lock spinner, a NACK loop) cannot
+    wedge the script: on exhaustion the directive is logged and the
+    script advances.
+``preempt``
+    deschedule the thread into the parked set (it will not run again
+    until placed).
+``place``
+    install a parked thread on ``processor`` (or the lowest free one);
+    resuming on a different core follows the backend's migration
+    policy.
+``wound``
+    force-abort the thread's in-flight transaction through the OS path
+    with wound kind ``"adversary"``.
+``stall``
+    advance the thread's processor clock by ``count`` cycles.
+``pin`` / ``unpin``
+    make the thread immune to (or again eligible for) chaos-storm and
+    quantum preemption, like the serial-irrevocable holder.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, Optional, Tuple
+
+#: Legal directive actions.
+ACTIONS = ("run", "preempt", "place", "wound", "stall", "pin", "unpin")
+
+#: Legal ``until`` conditions for run directives.
+UNTIL_EVENTS = ("ops", "begin", "commit", "abort", "cycle", "done")
+
+#: Default scheduler-step budget per run directive.
+DEFAULT_STEP_BUDGET = 20_000
+
+
+@dataclasses.dataclass(frozen=True)
+class Step:
+    """One schedule directive (immutable, picklable)."""
+
+    action: str
+    thread: int
+    #: run only: the condition that completes the directive.
+    until: str = "ops"
+    #: ops/commit/abort: how many; cycle: the absolute target cycle;
+    #: stall: cycles to advance.
+    count: int = 1
+    #: run only: scheduler-step budget (wedge guard).
+    budget: int = DEFAULT_STEP_BUDGET
+    #: place only: target processor (None = lowest free).
+    processor: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown action {self.action!r}; have {ACTIONS}")
+        if self.until not in UNTIL_EVENTS:
+            raise ValueError(
+                f"unknown until-event {self.until!r}; have {UNTIL_EVENTS}"
+            )
+        if self.thread < 0:
+            raise ValueError(f"thread must be >= 0, got {self.thread}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.budget < 1:
+            raise ValueError(f"budget must be >= 1, got {self.budget}")
+
+    # -- constructors (the DSL surface) ---------------------------------------
+
+    @classmethod
+    def run(cls, thread: int, until: str = "ops", count: int = 1,
+            budget: int = DEFAULT_STEP_BUDGET) -> "Step":
+        return cls(action="run", thread=thread, until=until, count=count,
+                   budget=budget)
+
+    @classmethod
+    def preempt(cls, thread: int) -> "Step":
+        return cls(action="preempt", thread=thread)
+
+    @classmethod
+    def place(cls, thread: int, processor: Optional[int] = None) -> "Step":
+        return cls(action="place", thread=thread, processor=processor)
+
+    @classmethod
+    def wound(cls, thread: int) -> "Step":
+        return cls(action="wound", thread=thread)
+
+    @classmethod
+    def stall(cls, thread: int, cycles: int) -> "Step":
+        return cls(action="stall", thread=thread, count=cycles)
+
+    @classmethod
+    def pin(cls, thread: int) -> "Step":
+        return cls(action="pin", thread=thread)
+
+    @classmethod
+    def unpin(cls, thread: int) -> "Step":
+        return cls(action="unpin", thread=thread)
+
+    def to_json(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "Step":
+        return cls(**doc)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleScript:
+    """A named, seeded, serializable schedule."""
+
+    name: str
+    steps: Tuple[Step, ...]
+    #: Workload parameterization (write values, body RNG) — the script
+    #: itself is RNG-free.
+    seed: int = 0
+    description: str = ""
+    citation: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a schedule script needs a name")
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "description": self.description,
+            "citation": self.citation,
+            "steps": [step.to_json() for step in self.steps],
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, object]) -> "ScheduleScript":
+        return cls(
+            name=str(doc["name"]),
+            seed=int(doc.get("seed", 0)),  # type: ignore[arg-type]
+            description=str(doc.get("description", "")),
+            citation=str(doc.get("citation", "")),
+            steps=tuple(
+                Step.from_json(step)  # type: ignore[arg-type]
+                for step in doc.get("steps", ())
+            ),
+        )
+
+    def dumps(self) -> str:
+        """Stable JSON text (round-trips through :meth:`loads`)."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "ScheduleScript":
+        return cls.from_json(json.loads(text))

@@ -12,8 +12,10 @@ correctness on:
   ``resilience`` use in core/coherence/runtime is guarded, so opt-in
   layers can never become load-bearing;
 * **tracer-event registry** (``SIM-E2xx``) — every literal event name
-  reaching an emit site exists in ``repro.obs.events``, and no
-  registered kind is dead;
+  reaching an emit site exists in ``repro.obs.events``, every wound
+  kind staged at a ``stage_wound``/``force_abort`` site exists in
+  ``repro.runtime.tmtypes.WOUND_KIND_REGISTRY``, and no registered
+  kind of either registry is dead;
 * **protocol exhaustiveness** (``SIM-P3xx``) — the (LineState x
   coherence-message) dispatch extracted from ``coherence/l1.py``,
   ``coherence/directory.py`` and ``core/processor.py`` matches the
@@ -39,6 +41,7 @@ from repro.analysis import rules_determinism  # noqa: F401
 from repro.analysis import rules_events  # noqa: F401
 from repro.analysis import rules_hooks  # noqa: F401
 from repro.analysis import rules_protocol  # noqa: F401
+from repro.analysis import rules_wounds  # noqa: F401
 
 __all__ = [
     "AnalysisReport",

@@ -34,7 +34,7 @@ from repro.analysis.engine import Finding, ModuleUnit, Rule, dotted_name, regist
 HOOK_SCOPE = ("repro/core/", "repro/coherence/", "repro/runtime/")
 
 #: Optional hooks that default to None.
-OPTIONAL_HOOKS = ("chaos", "metrics", "resilience")
+OPTIONAL_HOOKS = ("chaos", "metrics", "resilience", "probes")
 
 
 def _in_scope(unit: ModuleUnit) -> bool:

@@ -72,9 +72,14 @@ _SEVERITY = {LineState.M: 3, LineState.E: 2, LineState.S: 1}
 class InvariantChecker:
     """Opt-in runtime assertion layer; raises :class:`InvariantViolation`."""
 
-    def __init__(self, check_interval: int = 64):
+    def __init__(self, check_interval: int = 64, strict: bool = False):
         #: Scheduler steps between periodic machine sweeps.
         self.check_interval = max(1, check_interval)
+        #: Strict mode: consumers of descriptor state (the scheduler's
+        #: abort delivery) raise a ``wound-attribution`` violation when
+        #: a descriptor-carrying thread unwinds with no wound kind,
+        #: instead of silently aggregating under ``kind=""``.
+        self.strict = strict
         #: Number of periodic sweeps performed (for reports).
         self.sweeps = 0
         #: Number of inline checks performed.

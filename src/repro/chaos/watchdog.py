@@ -109,11 +109,23 @@ class LivelockWatchdog:
             machine.tracer.watchdog(now, "recover")
 
     def _force_abort_oldest_wounder(self, machine, now: int) -> None:
-        """Wound the ACTIVE transaction that has wounded the most."""
+        """Wound the ACTIVE transaction that has wounded the most.
+
+        The serial-irrevocable token holder is never a candidate: its
+        TSW deflects abort CASes anyway (forward-progress guarantee),
+        so selecting it would burn the escalation on a victim that
+        cannot die — and keep re-selecting it while real wounders run
+        free.  Deflected descriptors are filtered out up front.
+        """
+        resilience = machine.resilience
         victims = [
             descriptor
             for descriptor in machine._descriptors_by_tsw.values()
             if machine.read_status(descriptor) is TxStatus.ACTIVE
+            and not (
+                resilience is not None
+                and resilience.deflects(descriptor.tsw_address)
+            )
         ]
         if not victims:
             return

@@ -85,6 +85,10 @@ class FlexTMMachine:
         self.resilience = None
         #: Metrics hub (opt-in, tracer-style; None = no metrics).
         self.metrics = None
+        #: Opacity/zombie probe layer (opt-in, tracer-style; None = no
+        #: probes).  Purely observational: armed runs are bit-identical
+        #: to unarmed runs.
+        self.probes = None
         #: TSW address -> (wounder proc, conflict kind), staged by the
         #: runtime just before an abort CAS so the hardware-level TSW
         #: write can attribute the wound.
@@ -162,6 +166,19 @@ class FlexTMMachine:
         if hub is not None:
             self.directory.clock_of = lambda p: self.processors[p].clock.now
             hub.attach(self)
+
+    def set_probes(self, probes) -> None:
+        """Install (or remove, with None) an opacity/zombie probe layer.
+
+        Probes observe committed memory mutations (at the exact
+        instruction that makes them globally visible) and transactional
+        reads; they never touch simulated state, so an armed run is
+        bit-identical to an unarmed one — the same contract as the
+        tracer and metrics hub.
+        """
+        self.probes = probes
+        if probes is not None:
+            probes.attach(self)
 
     def _forward(
         self, responder: int, requestor: int, req_type: RequestType, line_address: int
@@ -302,6 +319,8 @@ class FlexTMMachine:
         if self.invariants is not None and address in self._descriptors_by_tsw:
             self.invariants.on_tsw_write(address, self.memory.read(address), value)
         self.memory.write(address, value)
+        if self.probes is not None:
+            self.probes.on_memory_write(address, value)
         out = MemoryOpResult(cycles=result.cycles, conflicts=conflicts)
         out.value = value
         if aborted:
@@ -392,6 +411,8 @@ class FlexTMMachine:
             if self.invariants is not None and address in self._descriptors_by_tsw:
                 self.invariants.on_tsw_write(address, old, new)
             self.memory.write(address, new)
+            if self.probes is not None:
+                self.probes.on_memory_write(address, new)
             out.success = True
             self._on_tsw_write(address, new, by=proc_id)
         else:
@@ -431,6 +452,8 @@ class FlexTMMachine:
         # Flash commit: speculative values become globally visible in
         # the same atomic step the TSW changes.
         self.memory.bulk_write(proc.overlay.items())
+        if self.probes is not None:
+            self.probes.on_commit_flash(proc.overlay)
         proc.flash_commit(proc.clock.now + out.cycles)
         out.success = True
         return out

@@ -51,6 +51,18 @@ the livelock watchdog, and the serializability oracle armed; the exit
 status is non-zero on any crash, wedge, or silent corruption.  See
 ``python -m repro.harness chaos --help`` and docs/ROBUSTNESS.md.
 
+The adversarial conformance matrix runs the named schedules from the
+TM-theory literature through the scripted-schedule engine::
+
+    python -m repro.harness adversary --seed 1 --jobs 2 \\
+        --report adversary.json
+
+Every backend runs every named schedule under a schedule director with
+strict invariants, opacity/zombie probes, and the serializability
+oracle armed; the exit status is non-zero on any ``violates`` verdict.
+``--list-schedules`` prints the catalog.  See
+``python -m repro.harness adversary --help`` and docs/ADVERSARY.md.
+
 The adaptive degradation ladder runs the same matrix with the
 resilience controller armed through the ``degrade`` subcommand::
 
@@ -108,6 +120,10 @@ def main(argv=None) -> int:
         from repro.harness.chaos import run_chaos_command
 
         return run_chaos_command(argv[1:])
+    if argv and argv[0] == "adversary":
+        from repro.harness.adversary import run_adversary_command
+
+        return run_adversary_command(argv[1:])
     if argv and argv[0] == "degrade":
         from repro.harness.degrade import run_degrade_command
 

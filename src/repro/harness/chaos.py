@@ -460,7 +460,16 @@ def run_chaos_command(argv=None) -> int:
                         help="write the JSON fault-matrix report here")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress on stderr")
+    parser.add_argument("--list-profiles", action="store_true",
+                        help="list the fault profiles and exit")
     args = parser.parse_args(argv)
+
+    if args.list_profiles:
+        sys.stdout.write("fault profiles:\n")
+        for name, knobs in FAULT_PROFILES.items():
+            settings = ", ".join(f"{k}={v}" for k, v in sorted(knobs.items()))
+            sys.stdout.write(f"  {name:<10} {settings}\n")
+        return 0
 
     backends = resolve_backends(args.backend or _comma_list(args.backends))
     profiles = resolve_profiles(args.profile or _comma_list(args.profiles))

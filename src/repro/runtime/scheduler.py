@@ -10,6 +10,17 @@ scheduler context-switches: the OS path spills the running
 transaction's hardware state through the backend's ``suspend`` hook,
 installs summary signatures, and later resumes (or abort-restarts, on
 migration) via ``resume`` — Section 5 of the paper.
+
+Scheduling is also scriptable: a *director* (see
+:class:`repro.adversary.director.ScheduleDirector`) may be installed to
+take over processor selection.  Each iteration the scheduler asks the
+director which processor to step instead of applying the
+least-advanced-clock policy, and the director can use the first-class
+control primitives — :meth:`Scheduler.park`, :meth:`Scheduler.place`,
+:meth:`Scheduler.release_parked`, :meth:`Scheduler.free_processors` —
+to pin exact interleavings.  The primitives reuse the same
+suspend/resume path as quantum preemption, so scripted context switches
+cost and behave exactly like organic ones.
 """
 
 from __future__ import annotations
@@ -19,7 +30,7 @@ import dataclasses
 from typing import Dict, List, Optional
 
 from repro.core.machine import FlexTMMachine, MemoryOpResult
-from repro.errors import SchedulerError, TransactionAborted
+from repro.errors import InvariantViolation, SchedulerError, TransactionAborted
 from repro.runtime.txthread import TxThread
 
 #: OS cost to switch a thread out / in (trap + register state).
@@ -92,6 +103,7 @@ class Scheduler:
         quantum: Optional[int] = None,
         processors: Optional[List[int]] = None,
         watchdog=None,
+        director=None,
     ):
         if not threads:
             raise SchedulerError("no threads to run")
@@ -99,6 +111,8 @@ class Scheduler:
         self.slots = [_Slot(thread) for thread in threads]
         self.quantum = quantum
         self.watchdog = watchdog
+        #: Scripted-schedule controller (None = default clock policy).
+        self.director = director
         if watchdog is not None:
             watchdog.attach(machine, threads[0].backend)
         available = processors if processors is not None else list(range(machine.params.num_processors))
@@ -107,6 +121,10 @@ class Scheduler:
         self._procs = available
         self._running: Dict[int, _Slot] = {}
         self._ready: collections.deque = collections.deque()
+        #: thread_id -> slot, descheduled by a director and *not* in the
+        #: ready queue: only an explicit place()/release_parked() (or
+        #: end-of-script cleanup) makes a parked thread runnable again.
+        self._parked: Dict[int, _Slot] = {}
         for slot in self.slots:
             if len(self._running) < len(available):
                 proc = available[len(self._running)]
@@ -127,9 +145,13 @@ class Scheduler:
         invariants = self.machine.invariants
         resilience = self.machine.resilience
         metrics = self.machine.metrics
+        director = self.director
         steps = 0
         while True:
-            proc = self._pick_processor(cycle_limit)
+            if director is not None:
+                proc = director.pick(self, cycle_limit)
+            else:
+                proc = self._pick_processor(cycle_limit)
             if proc is None:
                 break
             self._step(proc, cycle_limit)
@@ -167,8 +189,11 @@ class Scheduler:
         # The serial-irrevocable holder is pinned: neither chaos storms
         # nor quantum expiry may deschedule it (a migration would abort
         # it and void the forward-progress guarantee).  The chaos dice
-        # still roll so the injection streams stay aligned.
+        # still roll so the injection streams stay aligned.  A schedule
+        # director can pin threads the same way (the "pin" directive).
         pinned = resilience is not None and resilience.pinned(slot.thread)
+        if not pinned and self.director is not None:
+            pinned = self.director.pins(slot.thread)
         if chaos is not None and chaos.enabled:
             if chaos.spurious_alert():
                 self.machine.processors[proc].alerts.raise_alert(-1, "spurious")
@@ -203,12 +228,31 @@ class Scheduler:
             return
         slot.pending_value = self._execute(proc, slot, op)
 
-    @staticmethod
-    def _abort_exception(thread, cause: str) -> TransactionAborted:
-        """Build a TransactionAborted carrying descriptor attribution."""
+    def _abort_exception(self, thread, cause: str) -> TransactionAborted:
+        """Build a TransactionAborted carrying descriptor attribution.
+
+        Descriptor-less threads (STM backends raise their own aborts;
+        the OS path has nothing to attribute) report ``by=-1`` with an
+        empty kind.  A thread that *does* have a hardware descriptor is
+        expected to carry staged wound attribution by the time its
+        abort is delivered; under strict invariants a missing kind is a
+        diagnosable attribution loss, not a silent ``kind=""`` entry in
+        the abort taxonomy.
+        """
         descriptor = thread.descriptor
-        by = getattr(descriptor, "wounded_by", -1) if descriptor is not None else -1
-        kind = getattr(descriptor, "wound_kind", "") if descriptor is not None else ""
+        if descriptor is None:
+            return TransactionAborted(cause, by=-1, conflict="")
+        by = descriptor.wounded_by
+        kind = descriptor.wound_kind
+        if not kind:
+            invariants = self.machine.invariants
+            if invariants is not None and invariants.strict:
+                raise InvariantViolation(
+                    "wound-attribution",
+                    f"thread {thread.thread_id} unwound ({cause}) with a "
+                    f"descriptor carrying no wound attribution "
+                    f"(wounded_by={by})",
+                )
         return TransactionAborted(cause, by=by, conflict=kind)
 
     # -------------------------------------------------------------- op engine
@@ -244,24 +288,31 @@ class Scheduler:
 
     # ------------------------------------------------------- context switching
 
-    def _preempt(self, proc: int, slot: _Slot) -> None:
-        """Quantum expiry: switch the running thread out (Section 5)."""
+    def _switch_out(self, proc: int, slot: _Slot, counter: str) -> None:
+        """Spill a running thread's state (trap + suspend + OS cost).
+
+        The caller emits the scheduling event (the tracer-event
+        registry wants literal kinds at emit sites) and decides where
+        the slot goes next (ready queue, parked set); this helper only
+        performs the switch-out itself, so quantum preemption,
+        voluntary yields, and scripted parks share one timing model.
+        """
         thread = slot.thread
-        tracer = self.machine.tracer
-        if tracer.enabled:
-            tracer.sched(
-                proc, self.machine.processors[proc].clock.now, "preempt",
-                thread.thread_id,
-            )
-        metrics = self.machine.metrics
-        if metrics is not None:
-            metrics.on_sched(
-                proc, self.machine.processors[proc].clock.now, "preempt"
-            )
         thread.saved_ctx = thread.backend.suspend(thread)
         self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
-        self.machine.stats.counter("ctxsw.switches").increment()
+        self.machine.stats.counter(counter).increment()
         thread.processor = None
+
+    def _preempt(self, proc: int, slot: _Slot) -> None:
+        """Quantum expiry: switch the running thread out (Section 5)."""
+        tracer = self.machine.tracer
+        now = self.machine.processors[proc].clock.now
+        if tracer.enabled:
+            tracer.sched(proc, now, "preempt", slot.thread.thread_id)
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.on_sched(proc, now, "preempt")
+        self._switch_out(proc, slot, "ctxsw.switches")
         self._ready.append(slot)
         self._dispatch(proc)
 
@@ -270,31 +321,19 @@ class Scheduler:
         if not self._ready:
             self.machine.processors[proc].clock.advance(1)
             return
-        thread = slot.thread
         tracer = self.machine.tracer
+        now = self.machine.processors[proc].clock.now
         if tracer.enabled:
-            tracer.sched(
-                proc, self.machine.processors[proc].clock.now, "yield",
-                thread.thread_id,
-            )
+            tracer.sched(proc, now, "yield", slot.thread.thread_id)
         metrics = self.machine.metrics
         if metrics is not None:
-            metrics.on_sched(
-                proc, self.machine.processors[proc].clock.now, "yield"
-            )
-        thread.saved_ctx = thread.backend.suspend(thread)
-        self.machine.processors[proc].clock.advance(SWITCH_OUT_CYCLES)
-        self.machine.stats.counter("ctxsw.yields").increment()
-        thread.processor = None
+            metrics.on_sched(proc, now, "yield")
+        self._switch_out(proc, slot, "ctxsw.yields")
         self._ready.append(slot)
         self._dispatch(proc)
 
-    def _dispatch(self, proc: int) -> None:
-        """Give a free processor to the next ready thread."""
-        if not self._ready:
-            self._running.pop(proc, None)
-            return
-        slot = self._ready.popleft()
+    def _install(self, proc: int, slot: _Slot) -> None:
+        """Resume one descheduled thread on a free processor."""
         thread = slot.thread
         thread.processor = proc
         clock = self.machine.processors[proc].clock
@@ -313,6 +352,100 @@ class Scheduler:
             metrics.on_sched(proc, clock.now, "dispatch")
         slot.slice_start = clock.now
         self._running[proc] = slot
+
+    def _dispatch(self, proc: int) -> None:
+        """Give a free processor to the next ready thread."""
+        if not self._ready:
+            self._running.pop(proc, None)
+            return
+        slot = self._ready.popleft()
+        self._install(proc, slot)
+
+    # ------------------------------------------------- director control surface
+
+    def slot_of(self, thread_id: int) -> Optional[_Slot]:
+        """The slot for one thread id (None for an unknown id)."""
+        for slot in self.slots:
+            if slot.thread.thread_id == thread_id:
+                return slot
+        return None
+
+    def processor_of(self, thread_id: int) -> Optional[int]:
+        """The processor a thread currently occupies (None if not running)."""
+        for proc, slot in self._running.items():
+            if slot.thread.thread_id == thread_id:
+                return proc
+        return None
+
+    def free_processors(self) -> List[int]:
+        """Processors with no installed thread, in stable (sorted) order."""
+        return sorted(proc for proc in self._procs if proc not in self._running)
+
+    def park(self, thread_id: int) -> bool:
+        """Deschedule a running thread without re-queueing it.
+
+        The thread's state is spilled through the backend's normal
+        ``suspend`` path (same OS cost as a quantum preempt) but the
+        slot moves to the parked set instead of the ready queue, so
+        *only* an explicit :meth:`place` or :meth:`release_parked`
+        makes it runnable again — exact-interleaving control.  Returns
+        False when the thread is not currently running.
+        """
+        proc = self.processor_of(thread_id)
+        if proc is None:
+            return False
+        slot = self._running.pop(proc)
+        tracer = self.machine.tracer
+        now = self.machine.processors[proc].clock.now
+        if tracer.enabled:
+            tracer.sched(proc, now, "preempt", slot.thread.thread_id)
+        metrics = self.machine.metrics
+        if metrics is not None:
+            metrics.on_sched(proc, now, "preempt")
+        self._switch_out(proc, slot, "ctxsw.switches")
+        self._parked[thread_id] = slot
+        return True
+
+    def place(self, thread_id: int, proc: Optional[int] = None) -> bool:
+        """Install a parked (or still-queued) thread on a free processor.
+
+        ``proc=None`` picks the lowest-numbered free processor.
+        Resuming on a different processor than the thread suspended on
+        follows the backend's migration policy (FlexTM abort-restarts
+        the transaction).  Returns False when the thread is already
+        running, is done, or no suitable processor is free.
+        """
+        slot = self._parked.pop(thread_id, None)
+        if slot is None:
+            for queued in list(self._ready):
+                if queued.thread.thread_id == thread_id:
+                    self._ready.remove(queued)
+                    slot = queued
+                    break
+        if slot is None or slot.done:
+            return False
+        free = self.free_processors()
+        if proc is None:
+            if not free:
+                self._parked[thread_id] = slot
+                return False
+            proc = free[0]
+        elif proc not in free:
+            self._parked[thread_id] = slot
+            return False
+        self._install(proc, slot)
+        return True
+
+    def release_parked(self) -> None:
+        """Return every parked thread to the ready queue (id order) and
+        fill free processors — the end-of-script cleanup that hands
+        control back to the default policy."""
+        for thread_id in sorted(self._parked):
+            self._ready.append(self._parked.pop(thread_id))
+        for proc in self.free_processors():
+            if not self._ready:
+                break
+            self._dispatch(proc)
 
     def _retire(self, proc: int, slot: _Slot) -> None:
         slot.done = True

@@ -110,6 +110,9 @@ class TxThread:
                         self.processor if self.processor is not None else -1,
                         self.thread_id, self._now(),
                     )
+                probes = self._probes()
+                if probes is not None:
+                    probes.on_begin(self.thread_id)
                 if resilience is not None:
                     resilience.on_attempt(self, self._now())
                 yield from self.backend.begin(self)
@@ -126,6 +129,9 @@ class TxThread:
                         self.processor if self.processor is not None else -1,
                         self.thread_id, self._now(),
                     )
+                probes = self._probes()
+                if probes is not None:
+                    probes.on_commit(self.thread_id)
                 return
             except TransactionAborted as abort:
                 self.in_transaction = False
@@ -157,6 +163,9 @@ class TxThread:
                         self.processor if self.processor is not None else -1,
                         self.thread_id, self._now(), by, key,
                     )
+                probes = self._probes()
+                if probes is not None:
+                    probes.on_abort(self.thread_id)
                 if self.abort_work is not None:
                     yield from self.abort_work(ctx)
                     self.nontx_items += 1
@@ -181,6 +190,10 @@ class TxThread:
     def _metrics(self):
         machine = getattr(self.backend, "machine", None)
         return machine.metrics if machine is not None else None
+
+    def _probes(self):
+        machine = getattr(self.backend, "machine", None)
+        return machine.probes if machine is not None else None
 
     def _now(self) -> int:
         """The owning processor's current cycle (0 when descheduled)."""

@@ -103,8 +103,19 @@ class LogTmSeRuntime(FlexTMRuntime):
 
     def _self_abort(self, thread) -> Iterator[Tuple]:
         descriptor = thread.descriptor
+        # Stage attribution before flipping our own TSW: the scheduler's
+        # abort poll sees the flip on the very next step — before the
+        # raise below ever runs — and an unstaged flip is exactly the
+        # attribution loss strict invariants diagnose.
+        self.machine.stage_wound(
+            descriptor.tsw_address, thread.thread_id, "stall-deadlock"
+        )
         yield ("cas", descriptor.tsw_address, TxStatus.ACTIVE, TxStatus.ABORTED)
-        raise TransactionAborted("LogTM-SE possible-deadlock self-abort")
+        raise TransactionAborted(
+            "LogTM-SE possible-deadlock self-abort",
+            by=thread.thread_id,
+            conflict="stall-deadlock",
+        )
 
     # ----------------------------------------------------------------- commit
 

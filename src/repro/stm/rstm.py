@@ -93,9 +93,24 @@ class RstmRuntime(TMBackend):
         header_address = self.headers.orec_address(address)
         word = yield from self._open(thread, header_address)
         data = yield ("load", address)
+        # Invisible readers: self-validate on every open so no zombie
+        # ever returns data from a torn snapshot (opacity).  The checks
+        # peek the header words directly — no yield boundary separates
+        # them from the data load above, so the view they certify is
+        # the view the transaction actually returns.  First the object
+        # just read: its header must not have moved between the open
+        # and the data load.
+        if self.machine.memory.read(header_address) != word:
+            raise TransactionAborted("RSTM open validation failed")
+        # Then every earlier entry (the O(R^2) term); its cycle cost is
+        # charged below (headers are usually cached).
+        owned = {owned_address for owned_address, _ in thread.rstm_owned}
+        for seen_header, observed in state.read_set:
+            if seen_header in owned:
+                continue
+            if self.machine.memory.read(seen_header) != observed:
+                raise TransactionAborted("RSTM incremental validation failed")
         state.read_set.append((header_address, word))
-        # Invisible readers: self-validate the whole read set on every
-        # open to guarantee a consistent view (the O(R^2) term).
         if len(state.read_set) > 1:
             yield ("work", VALIDATE_PER_ENTRY_CYCLES * (len(state.read_set) - 1))
         return data.value

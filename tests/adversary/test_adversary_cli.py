@@ -1,0 +1,105 @@
+"""The ``python -m repro.harness adversary`` CLI and its JSON report."""
+
+import json
+
+import pytest
+
+from repro.adversary.conformance import run_adversary_matrix
+from repro.adversary.schedules import SCHEDULES
+from repro.harness.adversary import (
+    REPORT_SCHEMA,
+    build_report,
+    list_schedules,
+    render_matrix,
+    resolve_schedules,
+    run_adversary_command,
+)
+
+# A fast sub-matrix for CLI-level tests; the full matrix is covered by
+# test_conformance.py and the CI adversary job.
+FAST_BACKENDS = ["CGL", "FlexTM"]
+FAST_SCHEDULES = ["prog-read-read", "prog-wr-conflict"]
+
+
+def test_jobs_fanout_is_bit_identical():
+    serial = run_adversary_matrix(FAST_BACKENDS, FAST_SCHEDULES, seed=1, jobs=1)
+    fanned = run_adversary_matrix(FAST_BACKENDS, FAST_SCHEDULES, seed=1, jobs=2)
+    assert [cell.to_json() for cell in serial] == [
+        cell.to_json() for cell in fanned
+    ]
+
+
+def test_matrix_rows_are_in_input_order():
+    rows = run_adversary_matrix(FAST_BACKENDS, FAST_SCHEDULES, seed=1, jobs=2)
+    assert [(cell.backend, cell.schedule) for cell in rows] == [
+        (backend, schedule)
+        for backend in FAST_BACKENDS
+        for schedule in FAST_SCHEDULES
+    ]
+
+
+def test_report_document_shape():
+    rows = run_adversary_matrix(FAST_BACKENDS, FAST_SCHEDULES, seed=1)
+    report = build_report(
+        rows, seed=1, backends=FAST_BACKENDS, schedules=FAST_SCHEDULES,
+        cycle_limit=10_000_000, strict=True,
+    )
+    assert report["schema"] == REPORT_SCHEMA == "repro.adversary/v1"
+    assert report["ok"] is True
+    assert report["backends"] == FAST_BACKENDS
+    assert report["schedules"] == FAST_SCHEDULES
+    assert sum(report["counts"].values()) == len(rows) == 4
+    assert "violates" not in report["counts"]
+    for cell in report["cells"]:
+        for key in ("backend", "schedule", "verdict", "seed", "commits",
+                    "aborts", "aborts_by_kind", "wasted_cycles", "probe",
+                    "directives"):
+            assert key in cell, f"report cell missing {key}"
+        assert cell["probe"]["violations"] == 0
+    # The report is valid, round-trippable JSON.
+    assert json.loads(json.dumps(report)) == report
+
+
+def test_command_end_to_end_with_report(tmp_path, capsys):
+    out = tmp_path / "adversary.json"
+    status = run_adversary_command([
+        "--backend", "CGL", "--schedule", "prog-read-read",
+        "--report", str(out), "--quiet",
+    ])
+    assert status == 0
+    stdout = capsys.readouterr().out
+    assert "every schedule conforms" in stdout
+    document = json.loads(out.read_text())
+    assert document["schema"] == REPORT_SCHEMA
+    assert document["ok"] is True
+    assert len(document["cells"]) == 1
+    assert document["cells"][0]["verdict"] == "conforms"
+
+
+def test_list_schedules_flag(capsys):
+    assert run_adversary_command(["--list-schedules"]) == 0
+    stdout = capsys.readouterr().out
+    for name in SCHEDULES:
+        assert name in stdout
+    assert "arXiv:1502.04908" in stdout  # citations surface in discovery
+
+
+def test_unknown_schedule_is_rejected():
+    with pytest.raises(SystemExit, match="unknown schedule"):
+        resolve_schedules(["prog-read-read", "warp-duel"])
+
+
+def test_render_matrix_marks_failures():
+    rows = run_adversary_matrix(["CGL"], ["prog-read-read"], seed=1)
+    table = render_matrix(rows)
+    assert "conforms" in table
+    assert "FAIL" not in table
+    rows[0].verdict = "violates"
+    rows[0].detail = "synthetic"
+    assert "<-- FAIL" in render_matrix(rows)
+
+
+def test_listing_covers_the_whole_catalog():
+    text = list_schedules()
+    assert all(spec.name in text for spec in SCHEDULES.values())
+    assert "forbid-aborts" in text and "conflict" in text

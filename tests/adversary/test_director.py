@@ -1,0 +1,274 @@
+"""ScheduleDirector: scripted interleaving control through the scheduler.
+
+Each test runs a tiny workload under a hand-written ScheduleScript and
+asserts on the two observable surfaces: the directive log (how the
+script unfolded) and the run's results (what the forced interleaving
+actually produced).
+"""
+
+from repro.adversary.director import ScheduleDirector
+from repro.adversary.script import ScheduleScript, Step
+from repro.core.descriptor import ConflictMode
+from repro.core.machine import FlexTMMachine
+from repro.harness.runner import SYSTEMS
+from repro.params import small_test_params
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.txthread import TxThread, WorkItem
+
+CYCLE_LIMIT = 2_000_000
+
+
+def _txn(address, value, spacer=0):
+    """One transaction: optional work spacer, then write address=value."""
+
+    def body(ctx):
+        for _ in range(spacer):
+            yield from ctx.work(1)
+        yield from ctx.write(address, value)
+
+    return WorkItem(body)
+
+
+def _run(steps, items_per_thread, backend_name="FlexTM", processors=2):
+    machine = FlexTMMachine(small_test_params(processors))
+    backend = SYSTEMS[backend_name](machine, ConflictMode.EAGER)
+    threads = [
+        TxThread(thread_id, backend, items)
+        for thread_id, items in enumerate(items_per_thread)
+    ]
+    script = ScheduleScript(name="test", steps=tuple(steps))
+    director = ScheduleDirector(script)
+    result = Scheduler(machine, threads, director=director).run(
+        cycle_limit=CYCLE_LIMIT
+    )
+    return machine, director, result
+
+
+def _outcomes(director):
+    return [entry["outcome"] for entry in director.log]
+
+
+def _alloc(machine):
+    line = machine.params.line_bytes
+    return machine.allocate(line, line_aligned=True)
+
+
+def test_run_until_commit_forces_the_scripted_commit_order():
+    # Both threads write the same cell; the scripted order decides whose
+    # value lands last.  Under the default policy T0 (lowest proc) would
+    # win ties — the script forces the opposite serialization first.
+    results = {}
+    for order in ((1, 0), (0, 1)):
+        machine = FlexTMMachine(small_test_params(2))
+        backend = SYSTEMS["FlexTM"](machine, ConflictMode.EAGER)
+        address = _alloc(machine)
+        threads = [
+            TxThread(0, backend, [_txn(address, 100)]),
+            TxThread(1, backend, [_txn(address, 200)]),
+        ]
+        steps = tuple(Step.run(tid, until="commit") for tid in order)
+        director = ScheduleDirector(ScheduleScript(name="order", steps=steps))
+        result = Scheduler(machine, threads, director=director).run(
+            cycle_limit=CYCLE_LIMIT
+        )
+        assert result.commits == 2
+        assert _outcomes(director)[:2] == ["completed", "completed"]
+        results[order] = machine.memory.read(address)
+    assert results[(1, 0)] == 100  # T0 committed last
+    assert results[(0, 1)] == 200  # T1 committed last
+
+
+def test_preempt_parks_and_place_resumes():
+    machine = FlexTMMachine(small_test_params(2))
+    backend = SYSTEMS["FlexTM"](machine, ConflictMode.EAGER)
+    a, b = _alloc(machine), _alloc(machine)
+    threads = [
+        TxThread(0, backend, [_txn(a, 100)]),
+        TxThread(1, backend, [_txn(b, 200)]),
+    ]
+    script = ScheduleScript(
+        name="park",
+        steps=(
+            Step.preempt(0),
+            Step.run(1, until="done"),
+            Step.place(0, processor=0),
+            Step.run(0, until="done"),
+        ),
+    )
+    director = ScheduleDirector(script)
+    result = Scheduler(machine, threads, director=director).run(
+        cycle_limit=CYCLE_LIMIT
+    )
+    assert result.commits == 2
+    assert _outcomes(director) == [
+        "parked", "completed", "placed", "completed", "released",
+    ]
+    # The parked thread truly sat out: T1 finished strictly before T0
+    # committed anything (its commit happened after the place directive).
+    place_entry = director.log[2]
+    done_entry = director.log[1]
+    assert place_entry["cycle"] >= done_entry["cycle"]
+
+
+def test_wound_stages_the_adversary_kind():
+    _, director, result = _run(
+        [
+            Step.run(0, until="begin"),
+            Step.run(0, until="ops", count=10),
+            Step.wound(0),
+            Step.run(0, until="done"),
+        ],
+        # A long spacer keeps T0 inside its transaction through the
+        # wound directive's window.
+        [[_txn(0x1000, 100, spacer=300)]],
+    )
+    assert "wounded" in _outcomes(director)
+    assert result.aborts_by_kind.get("adversary", 0) >= 1
+    assert result.commits == 1  # the retry still completes
+
+
+def test_wound_on_a_descriptorless_backend_is_a_logged_noop():
+    # STM backends keep no hardware descriptor: the same catalog script
+    # must run unchanged, with the directive resolving to a no-op.
+    _, director, result = _run(
+        [
+            Step.run(0, until="begin"),
+            Step.wound(0),
+            Step.run(0, until="done"),
+        ],
+        [[_txn(0x1000, 100, spacer=50)]],
+        backend_name="TL2",
+    )
+    assert "no-descriptor" in _outcomes(director)
+    assert result.commits == 1
+    assert result.aborts == 0
+
+
+def test_directives_on_unknown_threads_are_diagnosed():
+    _, director, result = _run(
+        [
+            Step.run(7, until="ops", count=3),
+            Step.preempt(7),
+            Step.run(0, until="done"),
+        ],
+        [[_txn(0x1000, 100)]],
+    )
+    assert _outcomes(director) == [
+        "unknown-thread", "not-running", "completed", "released",
+    ]
+    assert result.commits == 1
+
+
+def test_budget_exhaustion_cannot_wedge_the_script():
+    # The until-condition (99 commits) is unreachable; the step budget
+    # bounds the directive and the script moves on.
+    _, director, result = _run(
+        [
+            Step.run(0, until="commit", count=99, budget=5),
+            Step.run(0, until="done"),
+        ],
+        [[_txn(0x1000, 100, spacer=50)]],
+    )
+    assert _outcomes(director) == ["budget-exhausted", "completed", "released"]
+    assert result.commits == 1
+
+
+def test_end_of_script_releases_parked_threads():
+    # The script parks T0 and then ends: the director must release it
+    # back to the default policy so the run drains instead of wedging.
+    machine = FlexTMMachine(small_test_params(2))
+    backend = SYSTEMS["FlexTM"](machine, ConflictMode.EAGER)
+    a, b = _alloc(machine), _alloc(machine)
+    threads = [
+        TxThread(0, backend, [_txn(a, 100)]),
+        TxThread(1, backend, [_txn(b, 200)]),
+    ]
+    script = ScheduleScript(name="abandon", steps=(Step.preempt(0),))
+    director = ScheduleDirector(script)
+    result = Scheduler(machine, threads, director=director).run(
+        cycle_limit=CYCLE_LIMIT
+    )
+    assert result.commits == 2
+    assert director.finished
+    assert director.log[-1]["action"] == "end-of-script"
+    assert director.log[-1]["outcome"] == "released"
+
+
+def test_run_target_evicts_a_bystander_when_cores_are_full():
+    # Three threads, two cores: running T2 requires parking somebody.
+    # The evicted bystander is re-queued, so everyone still commits.
+    machine = FlexTMMachine(small_test_params(2))
+    backend = SYSTEMS["FlexTM"](machine, ConflictMode.EAGER)
+    cells = [_alloc(machine) for _ in range(3)]
+    threads = [
+        TxThread(tid, backend, [_txn(cells[tid], 100 + tid)])
+        for tid in range(3)
+    ]
+    script = ScheduleScript(
+        name="evict", steps=(Step.run(2, until="commit"),)
+    )
+    director = ScheduleDirector(script)
+    result = Scheduler(machine, threads, director=director).run(
+        cycle_limit=CYCLE_LIMIT
+    )
+    assert _outcomes(director)[0] == "completed"
+    assert result.commits == 3
+    assert result.per_thread[2]["commits"] == 1
+
+
+def test_pin_directives_shield_threads_and_are_logged():
+    _, director, result = _run(
+        [
+            Step.pin(1),
+            Step.run(0, until="done"),
+            Step.unpin(1),
+            Step.run(1, until="done"),
+        ],
+        [[_txn(0x1000, 100)], [_txn(0x2000, 200)]],
+    )
+    assert _outcomes(director) == [
+        "pinned", "completed", "unpinned", "completed", "released",
+    ]
+    assert result.commits == 2
+
+
+def test_pins_hook_reflects_the_pinned_set():
+    import types
+
+    director = ScheduleDirector(
+        ScheduleScript(name="pins", steps=(Step.pin(1),))
+    )
+    director._pinned = {1}
+    assert director.pins(types.SimpleNamespace(thread_id=1))
+    assert not director.pins(types.SimpleNamespace(thread_id=0))
+
+
+def test_replay_is_bit_identical():
+    def one_run():
+        machine = FlexTMMachine(small_test_params(2))
+        backend = SYSTEMS["FlexTM"](machine, ConflictMode.EAGER)
+        address = _alloc(machine)
+        threads = [
+            TxThread(0, backend, [_txn(address, 100, spacer=40)]),
+            TxThread(1, backend, [_txn(address, 200, spacer=40)]),
+        ]
+        script = ScheduleScript(
+            name="replay",
+            steps=(
+                Step.run(0, until="begin"),
+                Step.preempt(0),
+                Step.run(1, until="commit"),
+                Step.place(0),
+                Step.run(0, until="done"),
+            ),
+        )
+        director = ScheduleDirector(script)
+        result = Scheduler(machine, threads, director=director).run(
+            cycle_limit=CYCLE_LIMIT
+        )
+        return result, director.log, machine.memory.read(address)
+
+    first, second = one_run(), one_run()
+    assert first[0] == second[0]   # RunResult dataclass equality
+    assert first[1] == second[1]   # directive log, entry by entry
+    assert first[2] == second[2]   # final memory

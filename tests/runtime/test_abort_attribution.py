@@ -13,10 +13,11 @@ from repro.core.descriptor import ConflictMode
 from repro.harness.runner import SYSTEMS, ExperimentConfig, run_experiment
 from repro.obs.tracer import EventTracer
 from repro.params import small_test_params
+from repro.runtime.tmtypes import UNATTRIBUTED_KIND, WOUND_KINDS
 
-#: The full cause vocabulary plus the bucket for legacy backends that
-#: raise without attribution.
-KNOWN_KINDS = {"R-W", "W-R", "W-W", "SI", "migration", "watchdog", "unattributed"}
+#: The full cause vocabulary (the central registry) plus the bucket for
+#: legacy backends that raise without attribution.
+KNOWN_KINDS = WOUND_KINDS | {UNATTRIBUTED_KIND}
 
 
 def _contended(system, mode=ConflictMode.EAGER, tracer=None, threads=4):

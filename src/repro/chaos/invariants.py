@@ -147,6 +147,7 @@ class InvariantChecker:
         self._check_owner_listing(machine)
         self._check_idle_hygiene(machine)
         self._check_irrevocable_mutex(machine)
+        self._check_htm_sw_mutex(machine)
 
     def _plain_states(self, machine):
         """(line -> proc -> strongest plain state) over arrays + victims."""
@@ -242,4 +243,46 @@ class InvariantChecker:
                     "irrevocable-mutex",
                     f"thread {descriptor.thread_id} is ACTIVE while thread "
                     f"{holder} runs serial-irrevocably",
+                )
+
+    def _check_htm_sw_mutex(self, machine) -> None:
+        """HTM/SW mutual exclusion for the best-effort-HTM backend.
+
+        While the fallback lock is held (serial mode), no other attempt
+        may be live or committing: the token grant drained every peer,
+        so any survivor would be an HTM commit racing the software
+        fallback — the torn-write-back hazard the hybrid design exists
+        to prevent.
+        """
+        fallback = getattr(machine, "htm_fallback", None)
+        if fallback is None:
+            return
+        holders = fallback.token_holders()
+        if len(holders) > 1:
+            raise InvariantViolation(
+                "htm-sw-mutex",
+                f"multiple fallback-lock holders: {sorted(holders)}",
+            )
+        if not fallback.serial_active:
+            return
+        if not holders:
+            raise InvariantViolation(
+                "htm-sw-mutex",
+                "serial fallback mode active with no lock holder",
+            )
+        holder = holders[0]
+        for thread_id, path, committing, doomed in fallback.active_attempts():
+            if thread_id == holder:
+                continue
+            if committing:
+                raise InvariantViolation(
+                    "htm-sw-mutex",
+                    f"thread {thread_id} ({path}) is committing while "
+                    f"thread {holder} holds the fallback lock",
+                )
+            if not doomed:
+                raise InvariantViolation(
+                    "htm-sw-mutex",
+                    f"thread {thread_id} ({path}) is live while thread "
+                    f"{holder} holds the fallback lock",
                 )

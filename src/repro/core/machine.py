@@ -83,6 +83,10 @@ class FlexTMMachine:
         self.invariants = None
         #: Adaptive-degradation controller (opt-in, tracer-style).
         self.resilience = None
+        #: Best-effort-HTM fallback policy (opt-in; installed by the
+        #: htmbe backend so the invariant checker can see the fallback
+        #: lock and serial mode through the machine alone).
+        self.htm_fallback = None
         #: Metrics hub (opt-in, tracer-style; None = no metrics).
         self.metrics = None
         #: Opacity/zombie probe layer (opt-in, tracer-style; None = no
@@ -150,6 +154,15 @@ class FlexTMMachine:
             proc.resilience = controller
         if controller is not None:
             controller.attach(self)
+
+    def set_htm_fallback(self, policy) -> None:
+        """Install (or remove, with None) a best-effort-HTM fallback policy.
+
+        Registered by :class:`repro.stm.htmbe.HtmBestEffortRuntime` at
+        construction so the ``htm-sw-mutex`` invariant (no HTM commit
+        while the fallback lock is held) is checkable from the machine.
+        """
+        self.htm_fallback = policy
 
     def set_metrics(self, hub) -> None:
         """Install (or remove, with None) a metrics hub.

@@ -83,6 +83,17 @@ and TMESI protocol exhaustiveness against the machine-readable spec in
 ``repro.coherence.spec``; the exit status is non-zero on any new
 error-severity finding.  See ``python -m repro.harness analyze --help``
 and docs/ANALYSIS.md.
+
+The best-effort-HTM capacity sweep runs through the ``capacity``
+subcommand::
+
+    python -m repro.harness capacity --sizes 2,4,8,12,16,24
+
+Per-thread working-set size grows across the HTM-BE read/write-set
+bounds; the report shows the deterministic fallback ladder engaging
+(commits per path, fallback-rate curve) and the exit status is
+non-zero if the ladder fires at the wrong sizes or replays
+differently.  See docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
@@ -132,6 +143,10 @@ def main(argv=None) -> int:
         from repro.harness.analyze import run_analyze_command
 
         return run_analyze_command(argv[1:])
+    if argv and argv[0] == "capacity":
+        from repro.harness.capacity import run_capacity_command
+
+        return run_capacity_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate FlexTM paper tables and figures.",

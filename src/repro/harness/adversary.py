@@ -26,7 +26,7 @@ from repro.adversary.conformance import (
     run_adversary_matrix,
 )
 from repro.adversary.schedules import SCHEDULES
-from repro.harness.chaos import _comma_list, resolve_backends
+from repro.harness.chaos import _comma_list, render_backend_list, resolve_backends
 from repro.harness.parallel import effective_jobs
 
 #: Schema tag for the JSON report.
@@ -136,10 +136,15 @@ def run_adversary_command(argv=None) -> int:
                         help="suppress progress on stderr")
     parser.add_argument("--list-schedules", action="store_true",
                         help="list the named schedules and exit")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list the TM backends and exit")
     args = parser.parse_args(argv)
 
     if args.list_schedules:
         sys.stdout.write(list_schedules())
+        return 0
+    if args.list_backends:
+        sys.stdout.write(render_backend_list())
         return 0
 
     backends = resolve_backends(args.backend or _comma_list(args.backends))

@@ -393,7 +393,23 @@ def resolve_backends(names: Sequence[str]) -> List[str]:
                 f"unknown backend {name!r}; choose from {', '.join(sorted(SYSTEMS))}"
             )
         backends.append(key)
+    if not backends:
+        # An empty filter (e.g. ``--backends ""``) must not silently
+        # produce a zero-cell matrix that trivially "passes".
+        raise SystemExit(
+            f"no backends selected; choose from {', '.join(sorted(SYSTEMS))}"
+        )
     return backends
+
+
+def render_backend_list() -> str:
+    """``--list-backends`` text shared by the chaos/degrade/adversary CLIs."""
+    from repro.harness.runner import BACKEND_SUMMARIES, SYSTEMS
+
+    lines = ["backends:"]
+    for name in SYSTEMS:
+        lines.append(f"  {name:<10} {BACKEND_SUMMARIES.get(name, '')}")
+    return "\n".join(lines) + "\n"
 
 
 def resolve_profiles(names: Sequence[str]) -> List[str]:
@@ -462,6 +478,8 @@ def run_chaos_command(argv=None) -> int:
                         help="suppress progress on stderr")
     parser.add_argument("--list-profiles", action="store_true",
                         help="list the fault profiles and exit")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list the TM backends and exit")
     args = parser.parse_args(argv)
 
     if args.list_profiles:
@@ -469,6 +487,9 @@ def run_chaos_command(argv=None) -> int:
         for name, knobs in FAULT_PROFILES.items():
             settings = ", ".join(f"{k}={v}" for k, v in sorted(knobs.items()))
             sys.stdout.write(f"  {name:<10} {settings}\n")
+        return 0
+    if args.list_backends:
+        sys.stdout.write(render_backend_list())
         return 0
 
     backends = resolve_backends(args.backend or _comma_list(args.backends))

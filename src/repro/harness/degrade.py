@@ -54,6 +54,7 @@ from repro.harness.chaos import (
     _bodies,
     _comma_list,
     profile_spec,
+    render_backend_list,
     resolve_backends,
     resolve_profiles,
 )
@@ -333,7 +334,13 @@ def run_degrade_command(argv=None) -> int:
                         help="write the JSON degrade-matrix report here")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress on stderr")
+    parser.add_argument("--list-backends", action="store_true",
+                        help="list the TM backends and exit")
     args = parser.parse_args(argv)
+
+    if args.list_backends:
+        sys.stdout.write(render_backend_list())
+        return 0
 
     backends = resolve_backends(args.backend or _comma_list(args.backends))
     profiles = resolve_profiles(args.profile or _comma_list(args.profiles))

@@ -59,6 +59,8 @@ TOTALS_REQUIRED_KEYS = (
     "throughput",
     "aborts_by_kind",
     "escalations",
+    "commits_by_path",
+    "fallback_rate",
 )
 
 #: Chains reported per artifact (longest first).
@@ -71,6 +73,27 @@ def sweep_hub(window_cycles: int = 2048,
     return MetricsHub(
         window_cycles=window_cycles, sample_interval=sample_interval
     )
+
+
+def commits_by_path(escalations: Dict[str, int]) -> Dict[str, int]:
+    """Commits per execution path, from the ``fallback_*`` counters.
+
+    Backends without an intrinsic fallback ladder report all zeros —
+    the uniform shape, so the totals schema never forks per backend.
+    """
+    return {
+        "htm": escalations.get("fallback_commits_htm", 0),
+        "sw": escalations.get("fallback_commits_sw", 0),
+        "irrevocable": escalations.get("fallback_commits_irrevocable", 0),
+    }
+
+
+def fallback_rate(commits: int, escalations: Dict[str, int]) -> float:
+    """Fraction of commits that landed on a software fallback path."""
+    if not commits:
+        return 0.0
+    paths = commits_by_path(escalations)
+    return round((paths["sw"] + paths["irrevocable"]) / commits, 4)
 
 
 def build_artifact(hub: MetricsHub, result,
@@ -93,6 +116,10 @@ def build_artifact(hub: MetricsHub, result,
             "throughput": round(result.throughput, 4),
             "aborts_by_kind": dict(result.aborts_by_kind),
             "escalations": dict(result.escalations),
+            "commits_by_path": commits_by_path(result.escalations),
+            "fallback_rate": fallback_rate(
+                result.commits, result.escalations
+            ),
         },
         "counters": data["counters"],
         "gauges": data["gauges"],

@@ -22,6 +22,7 @@ from repro.runtime.flextm import FlexTMRuntime
 from repro.runtime.scheduler import RunResult, Scheduler
 from repro.runtime.txthread import TxThread
 from repro.stm.cgl import CglRuntime
+from repro.stm.htmbe import HtmBestEffortRuntime
 from repro.stm.logtmse import LogTmSeRuntime
 from repro.stm.rstm import RstmRuntime
 from repro.stm.rtmf import RtmfRuntime
@@ -41,6 +42,18 @@ SYSTEMS: Dict[str, Callable] = {
     "RSTM": lambda machine, mode: RstmRuntime(machine),
     "TL2": lambda machine, mode: Tl2Runtime(machine),
     "LogTM-SE": lambda machine, mode: LogTmSeRuntime(machine),
+    "HTM-BE": lambda machine, mode: HtmBestEffortRuntime(machine),
+}
+
+#: One-line descriptions for ``--list-backends`` on the harness CLIs.
+BACKEND_SUMMARIES: Dict[str, str] = {
+    "CGL": "single coarse-grain lock (normalization baseline)",
+    "FlexTM": "the paper's decoupled hardware TM (signatures + CSTs)",
+    "RTM-F": "hardware-accelerated STM (AOU + PDI, per-access metadata)",
+    "RSTM": "software TM, invisible readers with self-validation",
+    "TL2": "software TM, global version clock + commit-time locking",
+    "LogTM-SE": "log-based hardware TM, eager versioning, stall-on-conflict",
+    "HTM-BE": "best-effort HTM, bounded sets, HTM->SW->irrevocable fallback",
 }
 
 #: Default cycle budget per run.  REPRO_CYCLES overrides it, but the

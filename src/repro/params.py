@@ -82,6 +82,12 @@ class SystemParams:
     ot_initial_sets: int = 64
     # Scheduling quantum (cycles) used by the virtualization layer.
     quantum_cycles: int = 1_000_000
+    # Best-effort HTM backend (repro.stm.htmbe): hard capacity bounds on
+    # the hardware read/write sets, in cache lines.  Crossing either
+    # bound aborts the attempt with kind "capacity" and sends it down
+    # the software fallback ladder.
+    htm_read_lines: int = 16
+    htm_write_lines: int = 8
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
@@ -98,6 +104,8 @@ class SystemParams:
             "memory_cycles",
             "remote_l1_cycles",
             "cpu_op_cycles",
+            "htm_read_lines",
+            "htm_write_lines",
         ):
             if getattr(self, name) < 1:
                 raise ConfigurationError(f"{name} must be >= 1")

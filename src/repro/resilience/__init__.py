@@ -18,11 +18,14 @@ from repro.resilience.degrade import (
     rung_for,
     should_rotate,
 )
+from repro.resilience.fallback import FallbackPolicy, FallbackSpec
 from repro.resilience.irrevocable import IrrevocabilityToken
 from repro.resilience.pressure import PressureSample, record_samples, sample_machine
 
 __all__ = [
     "DegradeSpec",
+    "FallbackPolicy",
+    "FallbackSpec",
     "IrrevocabilityToken",
     "PressureSample",
     "ResilienceController",

@@ -1,0 +1,188 @@
+"""The best-effort-HTM fallback policy engine.
+
+Commercial best-effort HTM (Intel TSX, POWER8 TM, the FORTH
+limited-set design in PAPERS.md) guarantees nothing: any attempt may
+abort on capacity, on a conflict, or spuriously on a context switch,
+so every hybrid runtime pairs the hardware path with a software
+fallback ladder.  :class:`FallbackPolicy` is that ladder for
+:class:`repro.stm.htmbe.HtmBestEffortRuntime`:
+
+* per-thread consecutive-abort streaks select the execution path —
+  ``htm`` (bounded hardware sets, near-zero bookkeeping) for the first
+  ``htm_retries`` attempts, then ``sw`` (unbounded, pays per-access
+  bookkeeping) for ``sw_retries`` more, then the ``irrevocable``
+  last resort behind PR 4's FIFO :class:`IrrevocabilityToken`;
+* capacity aborts fast-forward the streak past the remaining HTM
+  budget — retrying a transaction that cannot fit in the hardware sets
+  only wastes cycles;
+* retry delay is a deterministic bounded exponential
+  (``min(cap, base * growth**(n-1))`` cycles after the *n*-th
+  consecutive abort) — no RNG, so runs replay bit-identically;
+* while the token is held the system is in serial mode
+  (``serial_active``): peers were drained with wound kind
+  ``"fallback"`` and admission of new HTM commits is forbidden — the
+  HTM/SW mutual-exclusion invariant ``htm-sw-mutex`` checked by
+  :class:`repro.chaos.invariants.InvariantChecker`.
+
+The policy is pure software state: no RNG, no clock reads.  All
+telemetry keys are ``fallback_``-prefixed so they merge into
+``RunResult.escalations`` without colliding with the resilience
+controller's ladder counters (which already own ``commits_irrevocable``
+and friends).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.resilience.irrevocable import IrrevocabilityToken
+
+#: Execution paths, in escalation order.
+HTM_PATH = "htm"
+SW_PATH = "sw"
+IRREVOCABLE_PATH = "irrevocable"
+PATHS = (HTM_PATH, SW_PATH, IRREVOCABLE_PATH)
+
+
+@dataclasses.dataclass(frozen=True)
+class FallbackSpec:
+    """Retry budgets and backoff shape for the fallback ladder.
+
+    Attributes:
+        htm_retries: consecutive aborts tolerated on the hardware path
+            before escalating to the software slow path.
+        sw_retries: further aborts tolerated on the software path
+            before requesting the irrevocability token.
+        backoff_base: cycles of delay after the first abort.
+        backoff_growth: multiplicative growth per further abort.
+        backoff_cap: upper bound on any single delay.
+        lock_poll_cycles: cycles charged per fallback-lock poll while a
+            thread spins on ``token.busy`` or awaits its FIFO grant.
+    """
+
+    htm_retries: int = 3
+    sw_retries: int = 4
+    backoff_base: int = 32
+    backoff_growth: int = 2
+    backoff_cap: int = 2048
+    lock_poll_cycles: int = 40
+
+    def __post_init__(self) -> None:
+        for name in ("htm_retries", "sw_retries"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        for name in ("backoff_base", "backoff_growth", "backoff_cap",
+                     "lock_poll_cycles"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.backoff_cap < self.backoff_base:
+            raise ConfigurationError(
+                "backoff_cap must be >= backoff_base, got "
+                f"{self.backoff_cap} < {self.backoff_base}"
+            )
+
+
+class FallbackPolicy:
+    """Deterministic per-thread HTM→SW→irrevocable escalation ladder."""
+
+    def __init__(self, spec: Optional[FallbackSpec] = None):
+        self.spec = spec or FallbackSpec()
+        #: The fallback lock: PR 4's FIFO-granted irrevocability token.
+        self.token = IrrevocabilityToken()
+        #: True while the token holder runs serially (peers drained).
+        self.serial_active = False
+        self._streak: Dict[int, int] = {}
+        self._counters: Dict[str, int] = {
+            "fallback_commits_htm": 0,
+            "fallback_commits_sw": 0,
+            "fallback_commits_irrevocable": 0,
+            "fallback_grants": 0,
+            "fallback_dooms": 0,
+            "fallback_capacity_fastfails": 0,
+            "fallback_peak_streak": 0,
+        }
+        # Set by the runtime (bind_runtime) so the invariant checker can
+        # see in-flight attempts through ``machine.htm_fallback`` alone.
+        self._runtime = None
+
+    # -- runtime binding -------------------------------------------------
+
+    def bind_runtime(self, runtime) -> None:
+        """Attach the backend whose attempts this policy governs."""
+        self._runtime = runtime
+
+    def active_attempts(self) -> List[Tuple[int, str, bool, bool]]:
+        """``(thread_id, path, committing, doomed)`` per in-flight attempt."""
+        if self._runtime is None:
+            return []
+        return self._runtime.active_attempts()
+
+    def token_holders(self) -> List[int]:
+        return self.token.holders()
+
+    # -- the ladder ------------------------------------------------------
+
+    def streak(self, thread_id: int) -> int:
+        """Consecutive aborts since this thread's last commit."""
+        return self._streak.get(thread_id, 0)
+
+    def path_for(self, thread_id: int) -> str:
+        """Which path the next attempt takes (pure function of streak)."""
+        streak = self.streak(thread_id)
+        if streak < self.spec.htm_retries:
+            return HTM_PATH
+        if streak < self.spec.htm_retries + self.spec.sw_retries:
+            return SW_PATH
+        return IRREVOCABLE_PATH
+
+    def backoff(self, aborts_in_a_row: int) -> int:
+        """Cycles to stall before the next attempt (bounded exponential)."""
+        if aborts_in_a_row <= 0:
+            return 0
+        spec = self.spec
+        return min(
+            spec.backoff_cap,
+            spec.backoff_base * spec.backoff_growth ** (aborts_in_a_row - 1),
+        )
+
+    def note_abort(self, thread_id: int, kind: str) -> None:
+        """Advance the streak after an abort attributed to ``kind``."""
+        streak = self.streak(thread_id)
+        if kind == "capacity" and streak < self.spec.htm_retries:
+            # A transaction that cannot fit in the hardware sets will
+            # never fit: burn the remaining HTM budget in one step.
+            self._counters["fallback_capacity_fastfails"] += 1
+            streak = self.spec.htm_retries
+        else:
+            streak += 1
+        self._streak[thread_id] = streak
+        if streak > self._counters["fallback_peak_streak"]:
+            self._counters["fallback_peak_streak"] = streak
+
+    def note_commit(self, thread_id: int, path: str) -> None:
+        """Reset the streak; release the token after a serial commit."""
+        self._streak.pop(thread_id, None)
+        self._counters[f"fallback_commits_{path}"] += 1
+        if path == IRREVOCABLE_PATH:
+            self.serial_active = False
+            self.token.release(thread_id)
+
+    def note_grant(self) -> None:
+        self._counters["fallback_grants"] += 1
+
+    def note_doom(self) -> None:
+        self._counters["fallback_dooms"] += 1
+
+    # -- telemetry -------------------------------------------------------
+
+    def escalation_counters(self) -> Dict[str, int]:
+        """Non-zero ``fallback_*`` counters for ``RunResult.escalations``."""
+        return {key: value for key, value in self._counters.items() if value}
+
+    def __repr__(self) -> str:
+        return (
+            f"FallbackPolicy(streaks={self._streak}, "
+            f"serial_active={self.serial_active}, token={self.token!r})"
+        )

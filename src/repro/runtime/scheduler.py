@@ -241,6 +241,16 @@ class Scheduler:
         """
         descriptor = thread.descriptor
         if descriptor is None:
+            # Descriptor-less backends may still carry attribution in
+            # software (the htmbe backend dooms attempts with a wound
+            # kind); consult the optional hook before giving up.
+            hook = getattr(
+                getattr(thread, "backend", None), "abort_attribution", None
+            )
+            attribution = None if hook is None else hook(thread)
+            if attribution is not None:
+                by, kind = attribution
+                return TransactionAborted(cause, by=by, conflict=kind)
             return TransactionAborted(cause, by=-1, conflict="")
         by = descriptor.wounded_by
         kind = descriptor.wound_kind
@@ -485,6 +495,13 @@ class Scheduler:
         resilience = self.machine.resilience
         if resilience is not None:
             escalations.update(resilience.escalation_counters())
+        if threads:
+            # Backend-intrinsic ladders (the htmbe fallback policy) report
+            # through the same escalations surface, under fallback_* keys
+            # so they never collide with the controller's counters.
+            hook = getattr(threads[0].backend, "escalation_counters", None)
+            if hook is not None:
+                escalations.update(hook())
         tracer = self.machine.tracer
         if tracer.enabled:
             tracer.finalize([proc.clock.now for proc in self.machine.processors])

@@ -46,6 +46,14 @@ WOUND_KIND_REGISTRY: Dict[str, str] = {
     "irrevocable": "serial-irrevocable grant drained an in-flight peer",
     # -- scripted adversarial schedules (repro.adversary).
     "adversary": "schedule-script wound directive force-aborted the thread",
+    # -- best-effort HTM backend (repro.stm.htmbe).
+    "capacity": "hardware read/write set exceeded its capacity bound",
+    "htm-conflict": "remote access conflicted with a best-effort HTM "
+                    "attempt (attacker self-aborts)",
+    "explicit": "best-effort HTM attempt cancelled by the runtime "
+                "(context switch / migration kills the hardware state)",
+    "fallback": "software-fallback lock acquisition drained an in-flight "
+                "HTM peer",
 }
 
 #: Every registered wound kind, for membership tests and docs/tests.

@@ -8,7 +8,10 @@
   self-validation (eager ownership, clone-on-write);
 * :mod:`repro.stm.rtmf` — RTM-F, the hardware-accelerated STM that uses
   AOU + PDI to eliminate copying and validation but keeps per-access
-  metadata bookkeeping.
+  metadata bookkeeping;
+* :mod:`repro.stm.htmbe` — HTM-BE, a best-effort HTM straw man with
+  bounded read/write sets and a deterministic HTM->SW->irrevocable
+  fallback ladder.
 
 All run the same workloads through the same machine substrate; only
 their bookkeeping differs, which is precisely the comparison the paper
@@ -21,6 +24,7 @@ from repro.stm.tl2 import Tl2Runtime
 from repro.stm.rstm import RstmRuntime
 from repro.stm.rtmf import RtmfRuntime
 from repro.stm.logtmse import LogTmSeRuntime
+from repro.stm.htmbe import HtmBestEffortRuntime
 
 __all__ = [
     "LockTable",
@@ -30,4 +34,5 @@ __all__ = [
     "RstmRuntime",
     "RtmfRuntime",
     "LogTmSeRuntime",
+    "HtmBestEffortRuntime",
 ]

@@ -135,6 +135,14 @@ class RecordingBackend(TMBackend):
     def resume(self, thread, processor: int, saved):
         return self.inner.resume(thread, processor, saved)
 
+    def abort_attribution(self, thread):
+        hook = getattr(self.inner, "abort_attribution", None)
+        return None if hook is None else hook(thread)
+
+    def escalation_counters(self):
+        hook = getattr(self.inner, "escalation_counters", None)
+        return {} if hook is None else hook()
+
 
 def check_serializable(recorder: HistoryRecorder) -> List[CommittedTransaction]:
     """Verify the recorded history; returns a witness serial order.

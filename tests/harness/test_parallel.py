@@ -50,7 +50,7 @@ def _config(workload="HashTable", system="FlexTM", threads=2, seed=7):
 
 
 @pytest.fixture
-def six_backend_spec():
+def all_backend_spec():
     return SweepSpec(
         workloads=["HashTable"],
         systems=sorted(SYSTEMS),
@@ -62,11 +62,11 @@ def six_backend_spec():
     )
 
 
-def test_parallel_rows_bit_identical_to_serial(six_backend_spec):
-    serial = run_sweep(six_backend_spec, jobs=1)
-    fanned = run_sweep(six_backend_spec, jobs=3)
+def test_parallel_rows_bit_identical_to_serial(all_backend_spec):
+    serial = run_sweep(all_backend_spec, jobs=1)
+    fanned = run_sweep(all_backend_spec, jobs=3)
     assert serial == fanned
-    assert len(serial) == six_backend_spec.size()
+    assert len(serial) == all_backend_spec.size()
     assert {row["system"] for row in serial} == set(SYSTEMS)
     assert all(row["status"] == "ok" for row in serial)
 
@@ -203,13 +203,13 @@ def test_parallel_traces_written_by_workers(tmp_path):
         assert document["traceEvents"]
 
 
-def test_bench_json_written_and_valid(six_backend_spec, tmp_path):
+def test_bench_json_written_and_valid(all_backend_spec, tmp_path):
     bench_path = tmp_path / "BENCH_sweep.json"
-    run_sweep(six_backend_spec, jobs=2, bench_out=str(bench_path))
+    run_sweep(all_backend_spec, jobs=2, bench_out=str(bench_path))
     document = json.loads(bench_path.read_text())
     assert validate_bench_payload(document) is None
     assert document["jobs"] == 2
-    assert document["num_points"] == six_backend_spec.size()
+    assert document["num_points"] == all_backend_spec.size()
     assert document["num_errors"] == 0
     assert document["total_wall_time_s"] > 0
     assert document["serial_estimate_s"] > 0
@@ -230,11 +230,11 @@ def test_validate_bench_payload_rejects_junk():
     assert validate_bench_payload(broken) is not None
 
 
-def test_benchgate_cli(six_backend_spec, tmp_path, capsys):
+def test_benchgate_cli(all_backend_spec, tmp_path, capsys):
     from repro.harness.benchgate import main as benchgate
 
     bench_path = tmp_path / "BENCH_sweep.json"
-    run_sweep(six_backend_spec, jobs=2, bench_out=str(bench_path))
+    run_sweep(all_backend_spec, jobs=2, bench_out=str(bench_path))
     assert benchgate([str(bench_path), "--baseline", str(bench_path)]) == 0
     assert "benchgate: OK" in capsys.readouterr().out
 

@@ -25,7 +25,9 @@ def test_unknown_system_rejected():
 
 
 def test_registry_completeness():
-    assert set(SYSTEMS) == {"CGL", "FlexTM", "RTM-F", "RSTM", "TL2", "LogTM-SE"}
+    assert set(SYSTEMS) == {
+        "CGL", "FlexTM", "RTM-F", "RSTM", "TL2", "LogTM-SE", "HTM-BE",
+    }
     assert set(WORKLOADS) == {
         "HashTable",
         "RBTree",

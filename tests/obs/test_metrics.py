@@ -27,7 +27,7 @@ from repro.obs.metrics import (
 from repro.params import small_test_params
 from repro.sim.stats import Histogram
 
-SYSTEMS = ["CGL", "FlexTM", "RTM-F", "RSTM", "TL2", "LogTM-SE"]
+SYSTEMS = ["CGL", "FlexTM", "RTM-F", "RSTM", "TL2", "LogTM-SE", "HTM-BE"]
 
 CYCLES = 30_000
 

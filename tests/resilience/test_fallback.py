@@ -1,0 +1,119 @@
+"""FallbackPolicy ladder math: paths, backoff, fastfail, telemetry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.fallback import (
+    HTM_PATH,
+    IRREVOCABLE_PATH,
+    PATHS,
+    SW_PATH,
+    FallbackPolicy,
+    FallbackSpec,
+)
+
+
+class TestSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = FallbackSpec()
+        assert spec.htm_retries == 3
+        assert spec.sw_retries == 4
+
+    @pytest.mark.parametrize(
+        "field",
+        ["htm_retries", "sw_retries", "backoff_base", "backoff_growth",
+         "backoff_cap", "lock_poll_cycles"],
+    )
+    def test_every_knob_must_be_positive(self, field):
+        with pytest.raises(ConfigurationError, match=field):
+            FallbackSpec(**{field: 0})
+
+    def test_cap_must_dominate_base(self):
+        with pytest.raises(ConfigurationError, match="backoff_cap"):
+            FallbackSpec(backoff_base=64, backoff_cap=32)
+
+
+class TestLadder:
+    def test_path_sequence_follows_streak(self):
+        policy = FallbackPolicy(FallbackSpec(htm_retries=2, sw_retries=3))
+        expected = [HTM_PATH] * 2 + [SW_PATH] * 3 + [IRREVOCABLE_PATH] * 2
+        observed = []
+        for _ in expected:
+            observed.append(policy.path_for(7))
+            policy.note_abort(7, "htm-conflict")
+        assert observed == expected
+        assert PATHS == (HTM_PATH, SW_PATH, IRREVOCABLE_PATH)
+
+    def test_capacity_fastfail_skips_remaining_htm_budget(self):
+        policy = FallbackPolicy(FallbackSpec(htm_retries=3, sw_retries=2))
+        assert policy.path_for(0) == HTM_PATH
+        policy.note_abort(0, "capacity")
+        assert policy.streak(0) == 3  # jumped, not incremented
+        assert policy.path_for(0) == SW_PATH
+        assert policy.escalation_counters()["fallback_capacity_fastfails"] == 1
+        # Once past the HTM budget, capacity aborts advance normally.
+        policy.note_abort(0, "capacity")
+        assert policy.streak(0) == 4
+
+    def test_commit_resets_the_streak(self):
+        policy = FallbackPolicy(FallbackSpec(htm_retries=1, sw_retries=1))
+        policy.note_abort(3, "htm-conflict")
+        assert policy.path_for(3) == SW_PATH
+        policy.note_commit(3, SW_PATH)
+        assert policy.streak(3) == 0
+        assert policy.path_for(3) == HTM_PATH
+
+    def test_irrevocable_commit_releases_the_token(self):
+        policy = FallbackPolicy()
+        policy.token.enqueue(5)
+        assert policy.token.try_grant(5)
+        policy.serial_active = True
+        policy.note_commit(5, IRREVOCABLE_PATH)
+        assert not policy.serial_active
+        assert not policy.token.busy
+        assert policy.escalation_counters()["fallback_commits_irrevocable"] == 1
+
+    def test_streaks_are_per_thread(self):
+        policy = FallbackPolicy(FallbackSpec(htm_retries=1, sw_retries=1))
+        policy.note_abort(0, "htm-conflict")
+        assert policy.path_for(0) == SW_PATH
+        assert policy.path_for(1) == HTM_PATH
+
+
+class TestBackoff:
+    def test_bounded_exponential_sequence(self):
+        policy = FallbackPolicy()
+        assert [policy.backoff(n) for n in range(9)] == [
+            0, 32, 64, 128, 256, 512, 1024, 2048, 2048,
+        ]
+
+    def test_negative_streak_is_zero(self):
+        assert FallbackPolicy().backoff(-3) == 0
+
+
+class TestTelemetry:
+    def test_zero_counters_are_filtered(self):
+        assert FallbackPolicy().escalation_counters() == {}
+
+    def test_all_keys_are_prefixed(self):
+        policy = FallbackPolicy()
+        policy.note_abort(0, "htm-conflict")
+        policy.note_grant()
+        policy.note_doom()
+        policy.note_commit(0, HTM_PATH)
+        counters = policy.escalation_counters()
+        assert counters  # something fired
+        assert all(key.startswith("fallback_") for key in counters)
+
+    def test_peak_streak_tracks_high_water_mark(self):
+        policy = FallbackPolicy()
+        for _ in range(5):
+            policy.note_abort(0, "htm-conflict")
+        policy.note_commit(0, SW_PATH)
+        policy.note_abort(0, "htm-conflict")
+        assert policy.escalation_counters()["fallback_peak_streak"] == 5
+
+    def test_unbound_policy_reports_no_attempts(self):
+        policy = FallbackPolicy()
+        assert policy.active_attempts() == []
+        assert policy.token_holders() == []

@@ -94,12 +94,20 @@ def run_schedule_cell(
     seed: int = 1,
     cycle_limit: int = DEFAULT_CYCLE_LIMIT,
     strict: bool = True,
+    spec: Optional[ScheduleSpec] = None,
 ) -> ScheduleCell:
-    """Run one named schedule on one backend with all oracles armed."""
+    """Run one schedule on one backend with all oracles armed.
+
+    ``spec`` overrides the catalog lookup so synthesized schedules —
+    the model-checker's counterexample bridge, the DSL fuzzer — replay
+    through exactly the same oracle stack as the named catalog;
+    ``schedule`` then only names the cell (and salts its seed).
+    """
     from repro.harness.runner import SYSTEMS
     from repro.obs.metrics import MetricsHub
 
-    spec: ScheduleSpec = SCHEDULES[schedule]
+    if spec is None:
+        spec = SCHEDULES[schedule]
     mixed = cell_seed(seed, backend_name, schedule)
     machine = FlexTMMachine(small_test_params(max(spec.threads, 2)))
     hub = MetricsHub()
@@ -124,7 +132,11 @@ def run_schedule_cell(
         TxThread(thread_id, backend, items)
         for thread_id, items in enumerate(bodies)
     ]
-    expected = sum(len(items) for items in bodies)
+    # Only transactional items produce commits; plain items (bridged
+    # schedules) are tallied separately by the threads.
+    expected = sum(
+        1 for items in bodies for item in items if item.transactional
+    )
     out = ScheduleCell(
         backend=backend_name, schedule=schedule, verdict="conforms", seed=mixed
     )
@@ -157,22 +169,27 @@ def run_schedule_cell(
         out.verdict = VIOLATES
         out.detail = f"wedged: {out.commits}/{expected} commits at cycle budget"
         return out
-    try:
-        witness = check_serializable(backend.recorder)
-    except SerializabilityViolation as exc:
-        out.verdict, out.detail = VIOLATES, f"SerializabilityViolation: {exc}"
-        return out
+    if not spec.plain_ops:
+        try:
+            witness = check_serializable(backend.recorder)
+        except SerializabilityViolation as exc:
+            out.verdict, out.detail = (
+                VIOLATES,
+                f"SerializabilityViolation: {exc}",
+            )
+            return out
     if probe.violations:
         out.verdict = VIOLATES
         out.detail = "opacity: " + probe.violations[0].detail
         return out
-    replay = dict(backend.recorder.initial_values)
-    for txn in witness:
-        replay.update(txn.writes)
-    if any(machine.memory.read(cell) != replay[cell] for cell in cells):
-        out.verdict = VIOLATES
-        out.detail = "final memory diverges from serial witness replay"
-        return out
+    if not spec.plain_ops:
+        replay = dict(backend.recorder.initial_values)
+        for txn in witness:
+            replay.update(txn.writes)
+        if any(machine.memory.read(cell) != replay[cell] for cell in cells):
+            out.verdict = VIOLATES
+            out.detail = "final memory diverges from serial witness replay"
+            return out
     if out.aborts > 0:
         if spec.forbid_aborts:
             out.verdict = VIOLATES

@@ -91,6 +91,12 @@ class ScheduleSpec:
     forbid_aborts: bool
     #: build(cells, unique) -> (bodies per thread, script).
     build: Callable[..., Tuple[List[List[WorkItem]], ScheduleScript]]
+    #: Bridged schedules (model-checker counterexamples) mix plain
+    #: loads/stores into the workload.  Plain ops never reach the
+    #: recording backend, so the serializability and serial-witness
+    #: memory oracles are skipped for these cells (opacity, invariants,
+    #: wedge and crash detection stay armed).
+    plain_ops: bool = False
 
 
 # ---------------------------------------------------------------- the catalog

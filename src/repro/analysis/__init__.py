@@ -19,7 +19,13 @@ correctness on:
 * **protocol exhaustiveness** (``SIM-P3xx``) — the (LineState x
   coherence-message) dispatch extracted from ``coherence/l1.py``,
   ``coherence/directory.py`` and ``core/processor.py`` matches the
-  machine-readable Figure 1/3 spec in ``repro.coherence.spec``.
+  machine-readable Figure 1/3 spec in ``repro.coherence.spec``;
+* **model-checked protocol safety** (``SIM-M4xx``) — an exhaustive
+  explicit-state exploration of the spec tables themselves (SWMR, CST
+  dual-update symmetry, lost conflict responses, TSW legality,
+  quiescence) with minimal counterexamples bridged onto the real
+  simulator; run through ``python -m repro.harness modelcheck`` or
+  ``analyze --modelcheck``.
 
 Run it with ``python -m repro.harness analyze``; see docs/ANALYSIS.md.
 """
@@ -37,6 +43,7 @@ from repro.analysis.engine import (
 )
 
 # Importing the rule modules registers every rule with the engine.
+from repro.analysis import modelcheck  # noqa: F401
 from repro.analysis import rules_determinism  # noqa: F401
 from repro.analysis import rules_events  # noqa: F401
 from repro.analysis import rules_hooks  # noqa: F401

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.analysis.engine import Finding
 
@@ -67,3 +67,40 @@ def write_baseline(path: Path, findings: List[Finding]) -> Dict[str, int]:
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return {key: int(value["count"]) for key, value in suppressions.items()}
+
+
+def prune_baseline(path: Path, findings: List[Finding]) -> Tuple[int, int]:
+    """Drop baseline entries no current finding matches.
+
+    Keeps every suppression whose fingerprint still matches at least
+    one of ``findings`` (entries and counts untouched, so an audit
+    trail survives), deletes the rest, and rewrites the file only when
+    something was pruned.  Returns ``(kept, pruned)`` entry counts; a
+    missing baseline file prunes nothing.
+    """
+    if not path.exists():
+        return (0, 0)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format (expected version "
+            f"{BASELINE_VERSION})"
+        )
+    live = {finding.fingerprint() for finding in findings}
+    suppressions = data.get("suppressions", {})
+    kept = {
+        fingerprint: entry
+        for fingerprint, entry in suppressions.items()
+        if fingerprint in live
+    }
+    pruned = len(suppressions) - len(kept)
+    if pruned:
+        payload = {
+            "version": BASELINE_VERSION,
+            "suppressions": {key: kept[key] for key in sorted(kept)},
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return (len(kept), pruned)

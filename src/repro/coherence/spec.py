@@ -120,6 +120,29 @@ LOCAL_DISPATCH: Dict[Tuple[str, str], str] = {
     ("TStore", "TI"): "request",
 }
 
+#: The stable state a ``local`` dispatch outcome leaves behind, for
+#: every ``local`` cell of :data:`LOCAL_DISPATCH`.  Only two arcs of
+#: Figure 1 change state locally: the silent E->M Store upgrade and the
+#: M --TStore/Flush--> TMI transition; every other local hit keeps its
+#: state.  The model checker (``repro.analysis.modelcheck``) consumes
+#: this table verbatim.
+LOCAL_NEXT_STATE: Dict[Tuple[str, str], str] = {
+    ("Load", "S"): "S",
+    ("Load", "E"): "E",
+    ("Load", "M"): "M",
+    ("Load", "TMI"): "TMI",
+    ("Load", "TI"): "TI",
+    ("TLoad", "S"): "S",
+    ("TLoad", "E"): "E",
+    ("TLoad", "M"): "M",
+    ("TLoad", "TMI"): "TMI",
+    ("TLoad", "TI"): "TI",
+    ("Store", "E"): "M",
+    ("Store", "M"): "M",
+    ("TStore", "M"): "TMI",
+    ("TStore", "TMI"): "TMI",
+}
+
 #: Which directory request a miss (state I) issues per access kind.
 MISS_REQUESTS: Dict[str, str] = {
     "Load": "GETS",
@@ -205,6 +228,22 @@ REQUESTER_CST: Dict[Tuple[str, str], str] = {
 #: for a conflict, the requestor's matching update sets DUAL_CST[X].
 DUAL_CST: Dict[str, str] = {"w_r": "r_w", "r_w": "w_r", "w_w": "w_w"}
 
+#: Responses that carry a transactional conflict.  Every conflict
+#: response must either be recorded in a CST (transactional requestor)
+#: or resolved through a strong-isolation abort (plain requestor) —
+#: anything else is a *lost* conflict, the SIM-M405 invariant.
+CONFLICT_RESPONSES: FrozenSet[str] = frozenset(
+    {"Threatened", "Invalidated", "Exposed-Read"}
+)
+
+#: Strong isolation (Section 3.5): a *non-transactional* writer's GETX
+#: aborts every transactional conflict responder outright instead of
+#: recording a CST bit — both the Wsig (Threatened) and Rsig-only
+#: (Invalidated) paths.  Keys mirror :data:`RESPONSE_TABLE`.
+STRONG_ISOLATION_ABORTS: FrozenSet[Tuple[str, str]] = frozenset(
+    {("GETX", "wsig"), ("GETX", "rsig_only")}
+)
+
 # --------------------------------------------------------------------------- #
 # Directory grants: the state granted to the requestor.  GETS grants TI
 # when any responder answered Threatened (a remote TMI exists), E when
@@ -223,6 +262,15 @@ GETS_GRANT_RULES: Tuple[Tuple[str, str], ...] = (
     ("no_holders", "E"),
     ("otherwise", "S"),
 )
+
+#: (access kind, granted state) -> state actually installed in the
+#: requestor's L1.  Identity for every pair not listed; the one
+#: exception is a *plain* Load granted TI: the threatened value is
+#: consumed uncached (strong isolation keeps non-transactional reads
+#: out of the speculative window), so the line stays I.
+GRANT_INSTALL: Dict[Tuple[str, str], str] = {
+    ("Load", "TI"): "I",
+}
 
 # --------------------------------------------------------------------------- #
 # Figure 3: flash commit / abort transforms (CAS-Commit outcome sweeps
@@ -244,6 +292,61 @@ ABORT_TRANSFORM: Dict[str, str] = {
     "M": "M",
     "TMI": "I",  # speculation discarded
     "TI": "I",
+}
+
+# --------------------------------------------------------------------------- #
+# Model-checker annotations: where exploration starts, what counts as
+# quiescent, and the invariant catalog the SIM-M4xx rules verify
+# (``repro.analysis.modelcheck`` / docs/ANALYSIS.md).
+
+#: Every cache line starts invalid everywhere.
+INITIAL_STATE: str = "I"
+
+#: Line states legal in a quiescent (no in-flight request, no
+#: transactional footprint) configuration — exactly the non-T-bit
+#: states: TMI/TI only exist inside a transaction's lifetime.
+FINAL_LINE_STATES: FrozenSet[str] = frozenset({"I", "S", "E", "M"})
+
+#: The declared invariant catalog.  Each entry is one SIM-M rule the
+#: exhaustive model checker verifies over every reachable interleaving
+#: of the tables above (one line, N caches, a directory).
+INVARIANTS: Dict[str, str] = {
+    "SIM-M401": (
+        "single-writer/multiple-readers: at most one cache holds the "
+        "line M/E, and an M/E holder excludes remote S copies (TMI/TI "
+        "are the sanctioned transactional exceptions)"
+    ),
+    "SIM-M402": (
+        "encoding consistency: every state a transition produces is "
+        "one of the six ENCODINGS states, the STATE_PREDICATES match "
+        "the (M,V,T) bits, and every grant stays inside GRANTS"
+    ),
+    "SIM-M403": (
+        "CST dual-update symmetry: when a conflict response sets a "
+        "responder CST bit for a transactional requestor, the "
+        "requestor simultaneously sets the intrinsically mirrored CST "
+        "(w_r<->r_w, w_w<->w_w) naming the responder"
+    ),
+    "SIM-M404": (
+        "responder/requester CST agreement: RESPONDER_CST, "
+        "REQUESTER_CST and DUAL_CST name the same table pair for every "
+        "conflict response a transactional requestor can receive"
+    ),
+    "SIM-M405": (
+        "no lost conflict responses: every Threatened / Exposed-Read / "
+        "Invalidated response is recorded in a CST or resolved by a "
+        "strong-isolation abort — never silently dropped"
+    ),
+    "SIM-M406": (
+        "TSW legality: a TMI line exists exactly while its owner's "
+        "write signature is live, and a TI line implies a live read "
+        "signature — T-bit states never survive commit/abort"
+    ),
+    "SIM-M407": (
+        "quiescence/deadlock-freedom: every non-final reachable state "
+        "has an enabled transition; no in-flight request can hit a "
+        "missing dispatch cell and wedge"
+    ),
 }
 
 
@@ -271,6 +374,37 @@ def _check_internal_consistency() -> None:
         assert state in universe and target in universe
     for state, target in ABORT_TRANSFORM.items():
         assert state in universe and target in universe
+    # Local next states: defined for exactly the "local" dispatch cells,
+    # and only the two Figure 1 arcs change state.
+    local_cells = {
+        cell for cell, outcome in LOCAL_DISPATCH.items() if outcome == "local"
+    }
+    assert set(LOCAL_NEXT_STATE) == local_cells
+    for (access, state), target in LOCAL_NEXT_STATE.items():
+        assert target in universe, (access, state, target)
+        if target != state:
+            assert (access, state) in (("Store", "E"), ("TStore", "M"))
+    # Grant installs name real grants and real states.
+    for (access, granted), installed in GRANT_INSTALL.items():
+        assert access in ACCESSES and installed in universe
+        assert any(granted in states for states in GRANTS.values())
+    # Strong isolation covers signature-qualified cells and never
+    # overlaps a CST-recording path on the responder side.
+    for pair in sorted(STRONG_ISOLATION_ABORTS):
+        assert pair in RESPONSE_TABLE, pair
+        assert pair not in RESPONDER_CST, pair
+    assert CONFLICT_RESPONSES <= set(RESPONSES)
+    # No lost conflicts, statically: every conflict response is
+    # CST-recorded on at least one side or strong-isolation resolved.
+    for (request, category), response in RESPONSE_TABLE.items():
+        if response not in CONFLICT_RESPONSES:
+            continue
+        recorded = (request, category) in RESPONDER_CST
+        resolved = (request, category) in STRONG_ISOLATION_ABORTS
+        assert recorded or resolved, (request, category, response)
+    assert INITIAL_STATE in universe
+    assert FINAL_LINE_STATES == universe - STATE_PREDICATES["is_transactional"]
+    assert sorted(INVARIANTS) == [f"SIM-M40{i}" for i in range(1, 8)]
 
 
 _check_internal_consistency()

@@ -84,6 +84,19 @@ and TMESI protocol exhaustiveness against the machine-readable spec in
 error-severity finding.  See ``python -m repro.harness analyze --help``
 and docs/ANALYSIS.md.
 
+The exhaustive protocol model checker runs through the ``modelcheck``
+subcommand::
+
+    python -m repro.harness modelcheck --caches 3
+
+It explores every reachable interleaving of the spec tables for one
+line across N caches, checks the SIM-M401..407 invariant catalog
+(SWMR, CST dual-update symmetry, lost responses, TSW legality,
+quiescence), reports dead spec cells, and replays any minimal
+counterexample on the real simulator through the adversary bridge;
+the exit status is non-zero on any violation or dead cell.  See
+``python -m repro.harness modelcheck --help`` and docs/ANALYSIS.md.
+
 The best-effort-HTM capacity sweep runs through the ``capacity``
 subcommand::
 
@@ -143,6 +156,10 @@ def main(argv=None) -> int:
         from repro.harness.analyze import run_analyze_command
 
         return run_analyze_command(argv[1:])
+    if argv and argv[0] == "modelcheck":
+        from repro.harness.modelcheck import run_modelcheck_command
+
+        return run_modelcheck_command(argv[1:])
     if argv and argv[0] == "capacity":
         from repro.harness.capacity import run_capacity_command
 

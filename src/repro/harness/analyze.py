@@ -6,7 +6,9 @@ Examples::
     python -m repro.harness analyze --format sarif --out simcheck.sarif
     python -m repro.harness analyze --rule SIM-P301 --rule SIM-P302
     python -m repro.harness analyze --update-baseline
-    python -m repro.harness analyze --list-rules
+    python -m repro.harness analyze --prune-baseline
+    python -m repro.harness analyze --list-rules --format json
+    python -m repro.harness analyze --modelcheck
 
 Exit status is 1 when any *new* error-severity finding survives the
 baseline and inline suppressions (and, with ``--strict``, when any
@@ -21,8 +23,15 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+import json as _json
+
 from repro.analysis import all_rules, run_analysis
-from repro.analysis.baseline import DEFAULT_BASELINE, load_baseline, write_baseline
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    prune_baseline,
+    write_baseline,
+)
 from repro.analysis.output import render_json, render_sarif, render_text
 
 
@@ -81,6 +90,26 @@ def build_parser() -> argparse.ArgumentParser:
         "(prunes stale entries) and exit 0",
     )
     parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="drop baseline fingerprints no current finding matches "
+        "(existing entries stay untouched), print the pruned count, "
+        "exit 0",
+    )
+    parser.add_argument(
+        "--modelcheck",
+        action="store_true",
+        help="also run the exhaustive TMESI/CST model checker and merge "
+        "any SIM-M violation into the report",
+    )
+    parser.add_argument(
+        "--modelcheck-caches",
+        type=int,
+        default=3,
+        metavar="N",
+        help="cache count for --modelcheck (default: 3)",
+    )
+    parser.add_argument(
         "--rule",
         action="append",
         default=None,
@@ -111,9 +140,24 @@ def run_analyze_command(argv: Optional[List[str]] = None) -> int:
     rules = all_rules()
 
     if args.list_rules:
-        for name in sorted(rules):
-            rule = rules[name]
-            print(f"{name}  [{rule.severity:7s}]  {rule.description}")
+        if args.format == "json":
+            catalog = [
+                {
+                    "id": name,
+                    "severity": rules[name].severity,
+                    "scope": rules[name].scope,
+                    "description": rules[name].description,
+                }
+                for name in sorted(rules)
+            ]
+            print(_json.dumps(catalog, indent=2))
+        else:
+            for name in sorted(rules):
+                rule = rules[name]
+                print(
+                    f"{name}  [{rule.severity:7s}]  [{rule.scope}]  "
+                    f"{rule.description}"
+                )
         return 0
 
     if args.rule:
@@ -150,9 +194,35 @@ def run_analyze_command(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
+    if args.prune_baseline:
+        report = run_analysis(root, targets, rules=selected)
+        try:
+            kept, pruned = prune_baseline(baseline_path, report.findings)
+        except ValueError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        print(
+            f"simcheck: pruned {pruned} stale baseline entr"
+            f"{'y' if pruned == 1 else 'ies'} ({kept} kept) "
+            f"-> {baseline_path}"
+        )
+        return 0
+
     report = run_analysis(
         root, targets, rules=selected, baseline_fingerprints=fingerprints
     )
+
+    if args.modelcheck:
+        from repro.analysis.modelcheck import check, findings_from
+
+        result = check(caches=args.modelcheck_caches)
+        report.findings.extend(findings_from(result, root))
+        if result.dead_cells:
+            print(
+                f"modelcheck: {len(result.dead_cells)} dead spec cell(s): "
+                + ", ".join(result.dead_cells),
+                file=sys.stderr,
+            )
 
     if args.format == "json":
         rendered = render_json(report)

@@ -1,0 +1,217 @@
+"""Seeded smoke-fuzz for the ScheduleScript DSL.
+
+Fixed-seed ``random.Random`` streams generate well-formed random
+scripts; every script must validate, survive a lossless JSON
+round-trip, and replay on the real simulator through the same oracle
+stack as the named catalog without crashing (any *verdict* is legal —
+a random interleaving may wedge or violate; a Python crash is not).
+Failing scripts are delta-debugged down to a minimal step sequence
+before the assertion fires, and the shrinker itself is tested against
+a synthetic predicate.  No wall-clock anywhere: runs are bounded by
+cycle budgets and the director's step budgets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+import pytest
+
+from repro.adversary.conformance import run_schedule_cell
+from repro.adversary.schedules import ScheduleSpec, _thread
+from repro.adversary.script import ScheduleScript, Step
+
+_FUZZ_SEEDS = list(range(30))
+_REPLAY_SEEDS = list(range(12))
+_UNTIL = ("ops", "begin", "commit", "abort", "cycle", "done")
+
+
+def _random_step(rng: random.Random, threads: int) -> Step:
+    thread = rng.randrange(threads)
+    roll = rng.randrange(8)
+    if roll <= 2:  # run steps dominate so scripts make progress
+        return Step.run(
+            thread,
+            until=rng.choice(_UNTIL),
+            count=rng.randint(1, 60),
+            budget=rng.randint(50, 2_000),
+        )
+    if roll == 3:
+        return Step.preempt(thread)
+    if roll == 4:
+        return Step.place(thread, processor=rng.randrange(threads))
+    if roll == 5:
+        return Step.wound(thread)
+    if roll == 6:
+        return Step.stall(thread, cycles=rng.randint(1, 400))
+    return rng.choice([Step.pin, Step.unpin])(thread)
+
+
+def _random_script(seed: int) -> ScheduleScript:
+    rng = random.Random(seed)
+    threads = rng.randint(1, 3)
+    steps: List[Step] = [
+        _random_step(rng, threads) for _ in range(rng.randint(1, 12))
+    ]
+    # A tail drive per thread so most scripts run to completion; the
+    # budget still bounds the run if an earlier directive wedged it.
+    steps.extend(
+        Step.run(t, until="done", budget=5_000) for t in range(threads)
+    )
+    return ScheduleScript(
+        name=f"fuzz-{seed}",
+        description=f"random script, seed {seed}, {threads} thread(s)",
+        seed=seed,
+        steps=tuple(steps),
+    )
+
+
+def _spec_for(script: ScheduleScript, threads: int) -> ScheduleSpec:
+    def build(cells, unique):
+        bodies = [
+            _thread(unique, [("r", cells[0]), ("w", cells[0]), ("spacer", 30)])
+            for _ in range(threads)
+        ]
+        return bodies, script
+
+    return ScheduleSpec(
+        name=script.name,
+        description=script.description,
+        citation="fuzz",
+        threads=threads,
+        cells=1,
+        forbid_aborts=False,
+        build=build,
+    )
+
+
+def _threads_of(script: ScheduleScript) -> int:
+    return max(step.thread for step in script.steps) + 1
+
+
+def shrink(
+    script: ScheduleScript, failing: Callable[[ScheduleScript], bool]
+) -> ScheduleScript:
+    """Greedy delta-debugging over steps: smallest still-failing script.
+
+    Repeatedly drops step chunks (halves down to singletons) while the
+    predicate keeps failing.  Deterministic, no randomness: the result
+    depends only on the input script and predicate.
+    """
+    steps = list(script.steps)
+    chunk = max(1, len(steps) // 2)
+    while chunk >= 1:
+        index = 0
+        while index < len(steps) and len(steps) > 1:
+            candidate = steps[:index] + steps[index + chunk:]
+            if candidate:
+                trimmed = ScheduleScript(
+                    name=script.name,
+                    description=script.description,
+                    citation=script.citation,
+                    seed=script.seed,
+                    steps=tuple(candidate),
+                )
+                if failing(trimmed):
+                    steps = candidate
+                    continue
+            index += chunk
+        chunk //= 2
+    return ScheduleScript(
+        name=script.name,
+        description=script.description,
+        citation=script.citation,
+        seed=script.seed,
+        steps=tuple(steps),
+    )
+
+
+@pytest.mark.parametrize("seed", _FUZZ_SEEDS)
+def test_generated_scripts_validate_and_round_trip(seed):
+    script = _random_script(seed)
+    assert ScheduleScript.from_json(script.to_json()) == script
+    assert ScheduleScript.loads(script.dumps()) == script
+    # Serialization is stable: a script archived in a bug report
+    # replays from the identical wire text.
+    assert script.dumps() == ScheduleScript.loads(script.dumps()).dumps()
+
+
+@pytest.mark.parametrize("seed", _REPLAY_SEEDS)
+def test_generated_scripts_never_crash_the_simulator(seed):
+    script = _random_script(seed)
+    threads = _threads_of(script)
+
+    def crashes(candidate: ScheduleScript) -> bool:
+        cell = run_schedule_cell(
+            "FlexTM",
+            candidate.name,
+            seed=1,
+            cycle_limit=200_000,
+            spec=_spec_for(candidate, threads),
+        )
+        return cell.detail.startswith("crash")
+
+    if crashes(script):
+        minimal = shrink(script, crashes)
+        pytest.fail(
+            f"seed {seed} crashed; minimal script: "
+            + "; ".join(
+                f"{step.action}@{step.thread}" for step in minimal.steps
+            )
+        )
+
+
+def test_corrupted_documents_are_rejected_not_crashed():
+    rng = random.Random(99)
+    for seed in range(10):
+        document = _random_script(seed).to_json()
+        victim = rng.randrange(len(document["steps"]))
+        field, value = rng.choice(
+            [("action", "warp"), ("until", "rapture"), ("thread", -1)]
+        )
+        document["steps"][victim] = dict(
+            document["steps"][victim], **{field: value}
+        )
+        with pytest.raises(ValueError):
+            ScheduleScript.from_json(document)
+
+
+def test_shrinker_finds_the_minimal_failing_core():
+    # Synthetic predicate: a script "fails" iff it both wounds thread 0
+    # and stalls thread 1 (order-independent), regardless of noise.
+    script = _random_script(3)
+    noise = list(script.steps)
+    planted = ScheduleScript(
+        name="planted",
+        steps=tuple(
+            noise[: len(noise) // 2]
+            + [Step.wound(0)]
+            + noise[len(noise) // 2:]
+            + [Step.stall(1, cycles=10)]
+        ),
+    )
+
+    def failing(candidate: ScheduleScript) -> bool:
+        actions = {(step.action, step.thread) for step in candidate.steps}
+        return ("wound", 0) in actions and ("stall", 1) in actions
+
+    minimal = shrink(planted, failing)
+    assert failing(minimal)
+    assert len(minimal.steps) == 2
+    assert {(s.action, s.thread) for s in minimal.steps} == {
+        ("wound", 0),
+        ("stall", 1),
+    }
+
+
+def test_shrinker_keeps_a_singleton_failure():
+    script = ScheduleScript(
+        name="single", steps=(Step.run(0), Step.wound(0), Step.run(0))
+    )
+
+    def failing(candidate: ScheduleScript) -> bool:
+        return any(step.action == "wound" for step in candidate.steps)
+
+    minimal = shrink(script, failing)
+    assert [step.action for step in minimal.steps] == ["wound"]
